@@ -1,0 +1,109 @@
+"""Extension — the hybrid defense vs the paper's countermeasures.
+
+Not a paper figure: this bench evaluates the "new defense" the paper's
+conclusion calls for.  For each attack family the residual gain and detector
+quality of every defense are reported side by side.
+
+What the table shows: *detection* is solvable — the hybrid reaches full
+recall on every attack family, closing the single-signal blind spots
+(Detect1 cannot see RVA, Detect2 alone can be fooled by consistent crafted
+degrees).  *Repair* is not: with tens of flagged users, any repair
+(removal or resampling) perturbs enough genuine pairs that the residual
+distortion stays comparable to the smaller attacks.  That is a quantified
+restatement of the paper's conclusion that current countermeasures cannot
+effectively offset the attacks.
+"""
+
+import numpy as np
+from conftest import bench_config, bench_trials, emit
+
+from repro.core.clustering_attacks import ClusteringMGA
+from repro.core.degree_attacks import DegreeMGA, DegreeRVA
+from repro.core.gain import evaluate_attack
+from repro.core.threat_model import ThreatModel
+from repro.defenses.degree_consistency import DegreeConsistencyDefense
+from repro.defenses.evaluation import evaluate_defended_attack
+from repro.defenses.frequent_itemset import FrequentItemsetDefense
+from repro.defenses.hybrid import HybridDefense
+from repro.experiments.reporting import format_table
+from repro.graph.datasets import load_dataset
+from repro.protocols.lfgdpr import LFGDPRProtocol
+
+def _evading_mga():
+    return DegreeMGA(evade_consistency=True)
+
+
+ATTACKS = [
+    ("MGA/degree", DegreeMGA, "degree_centrality"),
+    ("MGA-evade/degree", _evading_mga, "degree_centrality"),
+    ("RVA/degree", DegreeRVA, "degree_centrality"),
+    ("MGA/clustering", ClusteringMGA, "clustering_coefficient"),
+]
+
+
+def _defenses():
+    return [
+        ("Detect1", FrequentItemsetDefense(threshold=75)),
+        ("Detect2", DegreeConsistencyDefense()),
+        ("Hybrid", HybridDefense(itemset_threshold=75)),
+    ]
+
+
+def test_hybrid_defense_comparison(benchmark):
+    config = bench_config("facebook")
+    graph = load_dataset("facebook", scale=config.scale, rng=config.seed)
+    protocol = LFGDPRProtocol(epsilon=4.0)
+    trials = max(2, bench_trials())
+
+    def run():
+        rows = []
+        for attack_name, attack_cls, metric in ATTACKS:
+            threat = ThreatModel.sample(graph, 0.05, 0.05, rng=0)
+            undefended = np.mean(
+                [
+                    evaluate_attack(
+                        graph, protocol, attack_cls(), threat, metric=metric, rng=s
+                    ).total_gain
+                    for s in range(trials)
+                ]
+            )
+            rows.append([attack_name, "(none)", undefended, np.nan, np.nan])
+            for defense_name, defense in _defenses():
+                outcomes = [
+                    evaluate_defended_attack(
+                        graph, protocol, attack_cls(), defense, threat,
+                        metric=metric, rng=s,
+                    )
+                    for s in range(trials)
+                ]
+                rows.append(
+                    [
+                        attack_name,
+                        defense_name,
+                        float(np.mean([o.total_gain for o in outcomes])),
+                        float(np.mean([o.quality.precision for o in outcomes])),
+                        float(np.mean([o.quality.recall for o in outcomes])),
+                    ]
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ext_hybrid_defense",
+        format_table(
+            ["attack", "defense", "residual gain", "precision", "recall"],
+            rows,
+            title="Extension — hybrid defense vs the paper's countermeasures (eps=4)",
+        ),
+    )
+    recalls = {(row[0], row[1]): row[4] for row in rows if row[1] != "(none)"}
+    gains = {(row[0], row[1]): row[2] for row in rows}
+    for attack_name, _, _ in ATTACKS:
+        # Detection claim: the hybrid has no blind spot — its recall matches
+        # the best single-signal detector on every family.
+        best_single = max(
+            recalls[(attack_name, "Detect1")], recalls[(attack_name, "Detect2")]
+        )
+        assert recalls[(attack_name, "Hybrid")] >= best_single - 1e-9, attack_name
+    # Repair headroom exists where the attack is large: degree MGA shrinks.
+    assert gains[("MGA/degree", "Hybrid")] < gains[("MGA/degree", "(none)")]

@@ -1,0 +1,27 @@
+"""Fig. 7 — impact of beta on attacks to degree centrality (Exp 2).
+
+Expected shapes (paper): all three attacks grow with the fake-user fraction;
+MGA > RVA > RNA throughout.
+"""
+
+import numpy as np
+import pytest
+from conftest import bench_config, emit
+
+from repro.experiments.figures import fig7
+
+
+@pytest.mark.parametrize("dataset", ["facebook", "enron", "astroph", "gplus"])
+def test_fig7_degree_vs_beta(benchmark, dataset):
+    config = bench_config(dataset)
+
+    result = benchmark.pedantic(fig7, args=(dataset, config), rounds=1, iterations=1)
+
+    emit("fig07_degree_vs_beta", result.format())
+    mga = np.array(result.gains_of("MGA"))
+    rva = np.array(result.gains_of("RVA"))
+    rna = np.array(result.gains_of("RNA"))
+    assert np.all(mga >= rva) and np.all(mga >= rna)
+    # Positive correlation with beta: more fake users, more gain.
+    assert mga[-1] > mga[0]
+    assert rva[-1] > rva[0]

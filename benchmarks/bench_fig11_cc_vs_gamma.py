@@ -1,0 +1,24 @@
+"""Fig. 11 — impact of gamma on attacks to clustering coefficient (Exp 6).
+
+Expected shapes (paper): positive correlation with gamma for all attacks;
+MGA consistently on top, RVA second.
+"""
+
+import numpy as np
+import pytest
+from conftest import bench_config, emit
+
+from repro.experiments.figures import fig11
+
+
+@pytest.mark.parametrize("dataset", ["facebook", "enron", "astroph", "gplus"])
+def test_fig11_cc_vs_gamma(benchmark, dataset):
+    config = bench_config(dataset)
+
+    result = benchmark.pedantic(fig11, args=(dataset, config), rounds=1, iterations=1)
+
+    emit("fig11_cc_vs_gamma", result.format())
+    mga = np.array(result.gains_of("MGA"))
+    rva = np.array(result.gains_of("RVA"))
+    assert np.all(mga >= rva)
+    assert mga[-1] > mga[0], "more targets -> larger overall gain"

@@ -1,0 +1,23 @@
+"""Fig. 15 — attacks on LF-GDPR and LDPGen, modularity (Exp 9).
+
+Expected shapes (paper): all attacks shift the estimated modularity on both
+protocols across epsilon, MGA generally strongest.
+"""
+
+import numpy as np
+from conftest import bench_config, emit
+
+from repro.experiments.figures import fig15
+
+
+def test_fig15_protocol_comparison(benchmark):
+    config = bench_config("facebook")
+
+    results = benchmark.pedantic(fig15, args=(config,), rounds=1, iterations=1)
+
+    for name, sweep in results.items():
+        emit("fig15_protocols_modularity", sweep.format())
+    for name, sweep in results.items():
+        mga = np.array(sweep.gains_of("MGA"))
+        assert np.all(np.isfinite(mga)), f"{name}: non-finite MGA gains"
+        assert mga.mean() > 0, f"{name}: MGA must shift modularity"

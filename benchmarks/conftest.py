@@ -1,0 +1,64 @@
+"""Shared benchmark configuration.
+
+Every bench regenerates one table/figure of the paper on laptop-scale
+surrogates and both prints the resulting series (run pytest with ``-s`` to
+see them inline) and writes them to ``benchmarks/results/<name>.txt``.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — multiplier on the per-dataset bench scales
+  (default 1.0; raise toward the dataset defaults for slower, larger runs).
+* ``REPRO_BENCH_TRIALS`` — threat-model draws per data point (default 2).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+#: Per-dataset scales that put every surrogate at roughly 700-900 nodes so a
+#: full benchmark run finishes in minutes.  Multiplied by REPRO_BENCH_SCALE.
+BENCH_SCALES = {
+    "facebook": 0.20,
+    "enron": 0.022,
+    "astroph": 0.042,
+    "gplus": 0.0078,
+}
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_trials() -> int:
+    return int(os.environ.get("REPRO_BENCH_TRIALS", "2"))
+
+
+def bench_config(dataset: str, **overrides) -> ExperimentConfig:
+    """Benchmark-sized experiment config for one dataset."""
+    multiplier = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    scale = min(1.0, BENCH_SCALES[dataset] * multiplier)
+    params = dict(trials=bench_trials(), seed=0, scale=scale)
+    params.update(overrides)
+    return ExperimentConfig(**params)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(text + "\n\n")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def fresh_results_dir():
+    """Start each benchmark session with empty result files."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    for stale in RESULTS_DIR.glob("*.txt"):
+        stale.unlink()
+    yield

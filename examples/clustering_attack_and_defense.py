@@ -1,0 +1,75 @@
+"""Scenario: distorting community cohesion metrics, then defending.
+
+A data collector estimates local clustering coefficients under LDP (how
+tightly each user's friends know each other — a standard cohesion signal for
+recommender and moderation pipelines).  The attacker runs the clustering MGA
+with its prioritized allocation: bots pair up, claim each other, and claim
+shared targets, closing fake triangles around every target.
+
+The second half mounts the paper's two countermeasures plus the naive
+baselines against the attack and prints the residual gain and the detector
+quality — reproducing the §VIII-D conclusion that the defenses mitigate but
+do not neutralise.
+
+Run:  python examples/clustering_attack_and_defense.py
+"""
+
+from repro import ClusteringMGA, ClusteringRVA, LFGDPRProtocol, ThreatModel, evaluate_attack, load_dataset
+from repro.defenses import (
+    DegreeConsistencyDefense,
+    FrequentItemsetDefense,
+    NaiveTopDegreeDefense,
+    evaluate_defended_attack,
+)
+
+
+def main():
+    graph = load_dataset("facebook", scale=0.2)
+    protocol = LFGDPRProtocol(epsilon=4.0)
+    threat = ThreatModel.sample(graph, beta=0.05, gamma=0.05, rng=0)
+    print(
+        f"graph: {graph.num_nodes} nodes | attacker: {threat.num_fake} bots, "
+        f"{threat.num_targets} targets | eps = 4\n"
+    )
+
+    # --- the attack --------------------------------------------------
+    for attack in (ClusteringMGA(), ClusteringRVA()):
+        outcome = evaluate_attack(
+            graph, protocol, attack, threat, metric="clustering_coefficient", rng=0
+        )
+        print(f"{attack.name}: overall clustering-coefficient gain {outcome.total_gain:.4f}")
+
+    # --- the defenses ------------------------------------------------
+    print("\ndefending against the clustering MGA:")
+    defenses = [
+        FrequentItemsetDefense(threshold=75),
+        DegreeConsistencyDefense(),
+        NaiveTopDegreeDefense(),
+    ]
+    undefended = evaluate_attack(
+        graph, protocol, ClusteringMGA(), threat, metric="clustering_coefficient", rng=0
+    ).total_gain
+    print(f"  no defense:  residual gain {undefended:.4f}")
+    for defense in defenses:
+        outcome = evaluate_defended_attack(
+            graph, protocol, ClusteringMGA(), defense, threat,
+            metric="clustering_coefficient", rng=0,
+        )
+        print(
+            f"  {defense.name:8s}: residual gain {outcome.total_gain:.4f}   "
+            f"(precision {outcome.quality.precision:.2f}, "
+            f"recall {outcome.quality.recall:.2f})"
+        )
+
+    print(
+        "\nDetect1 catches the coordinated claim pattern but leaves residual"
+        "\ndistortion. Detect2 flags the fakes too (verbatim claims lack RR"
+        "\nnoise, so the two degree channels disagree) - but its removal"
+        "\nrepair wrecks genuine estimates and the residual gain goes UP."
+        "\nNaive1 mostly flags genuine hubs. Hence the paper's call for new"
+        "\ndefenses."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Scenario: the original attack family on frequency oracles (Cao et al.).
+
+The paper's graph attacks generalise the RPA/RIA/MGA family designed against
+LDP frequency estimation.  This example runs that family against all three
+state-of-the-art oracles (kRR, OUE, OLH) on a synthetic app-usage workload —
+the attacker wants two fringe apps to look popular — and prints the
+estimated-frequency inflation each attack achieves.
+
+Run:  python examples/frequency_oracle_attacks.py
+"""
+
+import numpy as np
+
+from repro import FrequencyMGA, FrequencyRIA, FrequencyRPA, KRR, OLH, OUE
+from repro.core.frequency_attacks import evaluate_frequency_attack
+
+
+def zipf_workload(rng, domain_size, num_users, exponent=1.3):
+    """App-usage style workload: popularity follows a Zipf law."""
+    weights = 1.0 / np.arange(1, domain_size + 1) ** exponent
+    weights /= weights.sum()
+    return rng.choice(domain_size, size=num_users, p=weights)
+
+
+def main():
+    domain_size = 64
+    num_users = 20_000
+    beta = 0.05
+    num_fake = int(beta * num_users)
+    targets = np.array([60, 63])  # two fringe apps the attacker promotes
+    rng = np.random.default_rng(0)
+    values = zipf_workload(rng, domain_size, num_users)
+
+    true_frequency = np.bincount(values, minlength=domain_size) / num_users
+    print(
+        f"{num_users} users, {domain_size} apps, {num_fake} fake users (beta={beta})\n"
+        f"true target frequencies: {true_frequency[targets].round(4).tolist()}\n"
+    )
+
+    for oracle_cls in (KRR, OUE, OLH):
+        oracle = oracle_cls(domain_size=domain_size, epsilon=1.0)
+        print(f"--- {oracle_cls.__name__} (eps=1) ---")
+        for attack in (FrequencyRPA(), FrequencyRIA(), FrequencyMGA()):
+            gains = [
+                evaluate_frequency_attack(
+                    oracle, values, attack, targets, num_fake, rng=seed
+                ).total_gain
+                for seed in range(3)
+            ]
+            print(f"  {attack.name}: summed frequency inflation {np.mean(gains):+.4f}")
+        print()
+
+    print(
+        "MGA saturates the support of the targets (every fake report counts"
+        "\nfor them), RIA wastes budget on honest perturbation, RPA spreads"
+        "\nits mass over the whole domain - the ordering the graph attacks"
+        "\ninherit."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Scenario: poisoning a synthetic-graph release pipeline (LDPGen).
+
+LDPGen never releases estimates directly — it publishes a *synthetic* graph
+generated from noisy group-connectivity reports, and analysts compute
+whatever they like on it.  This example shows that poisoning survives the
+synthesis step (Exp 9 / Figs. 14-15): crafted reports shift the group
+connection probabilities, and the targets' clustering coefficients and the
+graph's modularity move in the released synthetic graph.
+
+Run:  python examples/ldpgen_synthesis.py
+"""
+
+import numpy as np
+
+from repro import (
+    ClusteringMGA,
+    DegreeMGA,
+    LDPGenProtocol,
+    ThreatModel,
+    evaluate_attack,
+    load_dataset,
+)
+from repro.experiments.figures import community_labels
+from repro.graph.metrics import average_degree
+
+
+def main():
+    graph = load_dataset("facebook", scale=0.15)
+    protocol = LDPGenProtocol(epsilon=4.0, refined_groups=8)
+    threat = ThreatModel.sample(graph, beta=0.05, gamma=0.05, rng=0)
+
+    # Show what the honest pipeline releases.
+    reports = protocol.collect(graph, rng=0)
+    synthetic = reports.perturbed_graph
+    print("honest LDPGen release:")
+    print(f"  original:  {graph.num_nodes} nodes, avg degree {average_degree(graph):.1f}")
+    print(f"  synthetic: {synthetic.num_nodes} nodes, avg degree {average_degree(synthetic):.1f}")
+
+    # Attack the released clustering coefficients of the targets.
+    print(f"\npoisoning with {threat.num_fake} fake users, {threat.num_targets} targets:")
+    cc_outcome = evaluate_attack(
+        graph, protocol, ClusteringMGA(), threat, metric="clustering_coefficient", rng=0
+    )
+    print(f"  clustering-coefficient gain on synthetic graph: {cc_outcome.total_gain:.4f}")
+
+    # Attack the modularity of the release, under the server's partition.
+    labels = community_labels(graph)
+    mod_outcome = evaluate_attack(
+        graph, protocol, DegreeMGA(), threat, metric="modularity", rng=0, labels=labels
+    )
+    print(
+        f"  modularity before {mod_outcome.before[0]:.4f} -> after "
+        f"{mod_outcome.after[0]:.4f} (|shift| {mod_outcome.total_gain:.4f})"
+    )
+
+    # Epsilon sweep: synthesis dampens but does not remove the attack.
+    print("\nclustering MGA gain across privacy budgets:")
+    for epsilon in (1.0, 2.0, 4.0, 8.0):
+        gains = [
+            evaluate_attack(
+                graph,
+                LDPGenProtocol(epsilon=epsilon),
+                ClusteringMGA(),
+                threat,
+                metric="clustering_coefficient",
+                rng=seed,
+            ).total_gain
+            for seed in range(3)
+        ]
+        print(f"  eps={epsilon:>3}: {np.mean(gains):.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Scenario: manipulating popularity rankings in a private social network.
+
+The paper's motivating example (§I): a social platform estimates user
+popularity from LDP-collected degree centrality.  An attacker who controls a
+botnet of compromised accounts can push chosen users up the popularity
+ranking — here we make the *least popular* genuine users look popular and
+watch them climb.
+
+The script compares all three attacks (RVA, RNA, MGA) on the same threat
+model and shows the rank displacement each achieves, plus how the privacy
+budget changes the picture.
+
+Run:  python examples/social_popularity_attack.py
+"""
+
+import numpy as np
+
+from repro import (
+    DegreeMGA,
+    DegreeRNA,
+    DegreeRVA,
+    LFGDPRProtocol,
+    ThreatModel,
+    evaluate_attack,
+    load_dataset,
+)
+
+
+def rank_of(values: np.ndarray, indices: np.ndarray) -> np.ndarray:
+    """Rank (0 = most popular) of each index under descending ``values``."""
+    order = np.argsort(-values)
+    ranks = np.empty_like(order)
+    ranks[order] = np.arange(order.size)
+    return ranks[indices]
+
+
+def main():
+    graph = load_dataset("facebook", scale=0.25)
+    print(f"social network surrogate: {graph.num_nodes} users, {graph.num_edges} ties\n")
+
+    # The attacker promotes the 20 least-connected genuine users.
+    degrees = graph.degrees()
+    nobodies = np.argsort(degrees)[:20]
+    fake_users = np.setdiff1d(
+        np.random.default_rng(0).permutation(graph.num_nodes)[:50], nobodies
+    )[:40]
+    threat = ThreatModel(fake_users=fake_users, targets=nobodies, num_nodes=graph.num_nodes)
+    print(f"attacker: {threat.num_fake} bots promoting {threat.num_targets} nobodies")
+
+    for epsilon in (2.0, 4.0, 8.0):
+        protocol = LFGDPRProtocol(epsilon=epsilon)
+        print(f"\n--- privacy budget eps = {epsilon} ---")
+        for attack in (DegreeRVA(), DegreeRNA(), DegreeMGA()):
+            outcome = evaluate_attack(
+                graph, protocol, attack, threat, metric="degree_centrality", rng=1
+            )
+            # Re-estimate full centralities to compute ranks.
+            reports_before = protocol.collect(graph, 42)
+            reports_after = protocol.collect(graph, 42, overrides=outcome.overrides)
+            before_rank = rank_of(
+                protocol.estimate_degree_centrality(reports_before), threat.targets
+            )
+            after_rank = rank_of(
+                protocol.estimate_degree_centrality(reports_after), threat.targets
+            )
+            climbed = int(np.mean(before_rank - after_rank))
+            print(
+                f"  {attack.name}: overall gain {outcome.total_gain:7.4f}   "
+                f"mean rank climb {climbed:+5d} places"
+            )
+
+    print(
+        "\nMGA turns the least-connected users into apparent celebrities; the"
+        "\nbaselines barely move the ranking - matching Fig. 6 of the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

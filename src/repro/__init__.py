@@ -1,0 +1,77 @@
+"""Data Poisoning Attacks to Local Differential Privacy Protocols for Graphs.
+
+A full reproduction of the ICDE 2025 paper: graph-LDP protocols (LF-GDPR,
+LDPGen), the RVA/RNA/MGA poisoning attacks on degree centrality and
+clustering coefficient, the frequency-oracle attack family they generalise,
+two countermeasures, and a benchmark harness regenerating every table and
+figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import (
+        LFGDPRProtocol, ThreatModel, DegreeMGA, evaluate_attack, load_dataset,
+    )
+
+    graph = load_dataset("facebook", scale=0.25)
+    protocol = LFGDPRProtocol(epsilon=4.0)
+    threat = ThreatModel.sample(graph, beta=0.05, gamma=0.05, rng=0)
+    outcome = evaluate_attack(graph, protocol, DegreeMGA(), threat,
+                              metric="degree_centrality", rng=0)
+    print(outcome.total_gain)
+"""
+
+from repro.core import (
+    Attack,
+    AttackerKnowledge,
+    AttackOutcome,
+    ClusteringMGA,
+    ClusteringRNA,
+    ClusteringRVA,
+    DegreeMGA,
+    DegreeRNA,
+    DegreeRVA,
+    FrequencyMGA,
+    FrequencyRIA,
+    FrequencyRPA,
+    ThreatModel,
+    average_gain,
+    evaluate_attack,
+    evaluate_frequency_attack,
+    theorem1_degree_gain,
+    theorem2_clustering_gain,
+)
+from repro.graph import Graph, load_dataset
+from repro.ldp import KRR, OLH, OUE
+from repro.protocols import FakeReport, LDPGenProtocol, LFGDPRProtocol
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Attack",
+    "AttackerKnowledge",
+    "AttackOutcome",
+    "ClusteringMGA",
+    "ClusteringRNA",
+    "ClusteringRVA",
+    "DegreeMGA",
+    "DegreeRNA",
+    "DegreeRVA",
+    "FrequencyMGA",
+    "FrequencyRIA",
+    "FrequencyRPA",
+    "ThreatModel",
+    "average_gain",
+    "evaluate_attack",
+    "evaluate_frequency_attack",
+    "theorem1_degree_gain",
+    "theorem2_clustering_gain",
+    "Graph",
+    "load_dataset",
+    "KRR",
+    "OLH",
+    "OUE",
+    "FakeReport",
+    "LDPGenProtocol",
+    "LFGDPRProtocol",
+    "__version__",
+]

@@ -1,0 +1,54 @@
+"""The paper's primary contribution: poisoning attacks and their evaluation."""
+
+from repro.core.base import Attack, random_new_neighbors, rr_perturb_neighbor_set
+from repro.core.clustering_attacks import ClusteringMGA, ClusteringRNA, ClusteringRVA
+from repro.core.degree_attacks import DegreeMGA, DegreeRNA, DegreeRVA
+from repro.core.frequency_attacks import (
+    FrequencyAttack,
+    FrequencyAttackOutcome,
+    FrequencyMGA,
+    FrequencyRIA,
+    FrequencyRPA,
+    evaluate_frequency_attack,
+)
+from repro.core.gain import METRICS, AttackOutcome, average_gain, evaluate_attack
+from repro.core.theory import theorem1_degree_gain, theorem2_clustering_gain
+from repro.core.threat_model import AttackerKnowledge, ThreatModel
+from repro.core.untargeted_attacks import (
+    UntargetedConcentratedAttack,
+    UntargetedOutcome,
+    UntargetedUniformAttack,
+    UntargetedWithdrawalAttack,
+    evaluate_untargeted_attack,
+)
+
+__all__ = [
+    "UntargetedConcentratedAttack",
+    "UntargetedOutcome",
+    "UntargetedUniformAttack",
+    "UntargetedWithdrawalAttack",
+    "evaluate_untargeted_attack",
+    "Attack",
+    "random_new_neighbors",
+    "rr_perturb_neighbor_set",
+    "ClusteringMGA",
+    "ClusteringRNA",
+    "ClusteringRVA",
+    "DegreeMGA",
+    "DegreeRNA",
+    "DegreeRVA",
+    "FrequencyAttack",
+    "FrequencyAttackOutcome",
+    "FrequencyMGA",
+    "FrequencyRIA",
+    "FrequencyRPA",
+    "evaluate_frequency_attack",
+    "METRICS",
+    "AttackOutcome",
+    "average_gain",
+    "evaluate_attack",
+    "theorem1_degree_gain",
+    "theorem2_clustering_gain",
+    "AttackerKnowledge",
+    "ThreatModel",
+]

@@ -1,0 +1,99 @@
+"""Attack interface and crafting helpers shared by all attacks."""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict
+
+import numpy as np
+
+from repro.graph.adjacency import Graph
+from repro.ldp.mechanisms import rr_keep_probability
+from repro.protocols.base import FakeReport
+from repro.core.threat_model import AttackerKnowledge, ThreatModel
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class Attack(abc.ABC):
+    """A data poisoning attack: crafts one report per fake user.
+
+    Subclasses implement :meth:`craft`; everything else (running the
+    protocol, measuring gain) lives in ``repro.core.gain`` so that every
+    attack is a pure report-crafting strategy, exactly as in the paper.
+    """
+
+    #: Short name used in experiment tables ("RVA", "RNA", "MGA", ...).
+    name: str = "attack"
+
+    @abc.abstractmethod
+    def craft(
+        self,
+        graph: Graph,
+        threat: ThreatModel,
+        knowledge: AttackerKnowledge,
+        rng: RngLike = None,
+    ) -> Dict[int, FakeReport]:
+        """Return the override report for every fake user.
+
+        ``graph`` is passed because fake users are compromised real devices:
+        the attacker can read (and chooses whether to reuse) each fake
+        user's organic neighbour list.  Attacks never read other nodes'
+        edges.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def random_new_neighbors(
+    node: int,
+    existing: np.ndarray,
+    count: int,
+    num_nodes: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Sample ``count`` distinct new neighbours for ``node`` uniformly.
+
+    Excludes ``node`` itself and ``existing`` neighbours.  Returns fewer than
+    ``count`` only if the graph runs out of candidates.
+    """
+    forbidden = np.union1d(existing, [node])
+    available = num_nodes - forbidden.size
+    count = min(count, available)
+    if count <= 0:
+        return np.empty(0, dtype=np.int64)
+    chosen: np.ndarray = np.empty(0, dtype=np.int64)
+    while chosen.size < count:
+        draws = rng.integers(0, num_nodes, size=int((count - chosen.size) * 1.3) + 8)
+        draws = np.setdiff1d(draws, forbidden)
+        chosen = np.union1d(chosen, draws)
+    if chosen.size > count:
+        chosen = rng.choice(chosen, size=count, replace=False)
+    return np.sort(chosen)
+
+
+def rr_perturb_neighbor_set(
+    node: int,
+    neighbors: np.ndarray,
+    num_nodes: int,
+    epsilon: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Randomized response applied to one adjacency bit vector, sparsely.
+
+    Used by RNA, which submits *honestly perturbed* reports: each true
+    neighbour bit survives with probability ``p`` and each of the remaining
+    ``N - 1 - d`` zero bits flips with probability ``1 - p``.
+    """
+    keep = rr_keep_probability(epsilon)
+    neighbors = np.unique(np.asarray(neighbors, dtype=np.int64))
+    survivors = neighbors[rng.random(neighbors.size) < keep]
+    num_zero_bits = num_nodes - 1 - neighbors.size
+    flip_count = int(rng.binomial(num_zero_bits, 1.0 - keep)) if num_zero_bits > 0 else 0
+    flipped = random_new_neighbors(node, neighbors, flip_count, num_nodes, rng)
+    return np.union1d(survivors, flipped)
+
+
+def ensure_attack_rng(rng: RngLike) -> np.random.Generator:
+    """Single place to coerce attack RNGs (keeps call sites short)."""
+    return ensure_rng(rng)

@@ -1,0 +1,216 @@
+"""Data poisoning attacks on frequency oracles (Cao et al., USENIX Sec 2021).
+
+The paper's graph attacks are explicit adaptations of this family (§III-A,
+§IV-B): RVA generalises RPA, RNA generalises RIA, and the graph MGA solves
+the same gain-maximisation problem over crafted reports.  Implementing the
+original family end-to-end both validates our oracle substrate and provides
+the reference behaviour the graph attacks are measured against.
+
+Attacks craft *reports* in the oracle's native format:
+
+* **RPA** (random perturbed-value attack) — a uniform point of the encoded
+  space.
+* **RIA** (random item attack) — a random target item, honestly perturbed.
+* **MGA** (maximal gain attack) — reports that maximise target support:
+  the target itself for kRR; the target bits (padded to the expected 1-count
+  to evade detection) for OUE; a hash seed chosen to collide many targets
+  into one bucket for OLH.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ldp.frequency_oracles import KRR, OLH, OUE, FrequencyOracle, _OLH_PRIME
+from repro.utils.rng import RngLike, child_rng, ensure_rng
+from repro.utils.validation import check_positive
+
+
+class FrequencyAttack(abc.ABC):
+    """Crafts fake-user reports for a frequency oracle."""
+
+    name: str = "attack"
+
+    @abc.abstractmethod
+    def craft(
+        self,
+        oracle: FrequencyOracle,
+        num_fake: int,
+        targets: np.ndarray,
+        rng: RngLike = None,
+    ) -> np.ndarray:
+        """Return ``num_fake`` crafted reports in the oracle's report format."""
+
+    def _check(self, oracle: FrequencyOracle, num_fake: int, targets: np.ndarray) -> np.ndarray:
+        check_positive(num_fake, "num_fake")
+        targets = np.unique(np.asarray(targets, dtype=np.int64))
+        if targets.size == 0:
+            raise ValueError("at least one target item is required")
+        if targets.min() < 0 or targets.max() >= oracle.domain_size:
+            raise ValueError("target item out of domain range")
+        return targets
+
+
+class FrequencyRPA(FrequencyAttack):
+    """Random perturbed-value attack: uniform points of the encoded space."""
+
+    name = "RPA"
+
+    def craft(self, oracle, num_fake, targets, rng=None):
+        targets = self._check(oracle, num_fake, targets)
+        generator = ensure_rng(rng)
+        if isinstance(oracle, KRR):
+            return generator.integers(0, oracle.domain_size, size=num_fake, dtype=np.int64)
+        if isinstance(oracle, OUE):
+            return generator.integers(0, 2, size=(num_fake, oracle.domain_size)).astype(np.uint8)
+        if isinstance(oracle, OLH):
+            a = generator.integers(1, _OLH_PRIME, size=num_fake, dtype=np.int64)
+            b = generator.integers(0, _OLH_PRIME, size=num_fake, dtype=np.int64)
+            y = generator.integers(0, oracle.num_buckets, size=num_fake, dtype=np.int64)
+            return np.stack([a, b, y], axis=1)
+        raise TypeError(f"unsupported oracle type {type(oracle).__name__}")
+
+
+class FrequencyRIA(FrequencyAttack):
+    """Random item attack: each fake user honestly perturbs a random target."""
+
+    name = "RIA"
+
+    def craft(self, oracle, num_fake, targets, rng=None):
+        targets = self._check(oracle, num_fake, targets)
+        generator = ensure_rng(rng)
+        values = generator.choice(targets, size=num_fake, replace=True)
+        return oracle.perturb(values, rng=generator)
+
+
+class FrequencyMGA(FrequencyAttack):
+    """Maximal gain attack: reports crafted to maximise target support.
+
+    Parameters
+    ----------
+    olh_seed_candidates:
+        For OLH the attacker searches this many random hash seeds per fake
+        user batch and keeps the one colliding the most targets into a
+        single bucket.
+    pad_oue_reports:
+        Pad OUE reports with random non-target bits up to the expected
+        1-count of an honest report (Cao et al.'s detection-evasion step).
+    """
+
+    name = "MGA"
+
+    def __init__(self, olh_seed_candidates: int = 200, pad_oue_reports: bool = True):
+        check_positive(olh_seed_candidates, "olh_seed_candidates")
+        self.olh_seed_candidates = int(olh_seed_candidates)
+        self.pad_oue_reports = bool(pad_oue_reports)
+
+    def craft(self, oracle, num_fake, targets, rng=None):
+        targets = self._check(oracle, num_fake, targets)
+        generator = ensure_rng(rng)
+        if isinstance(oracle, KRR):
+            return generator.choice(targets, size=num_fake, replace=True).astype(np.int64)
+        if isinstance(oracle, OUE):
+            return self._craft_oue(oracle, num_fake, targets, generator)
+        if isinstance(oracle, OLH):
+            return self._craft_olh(oracle, num_fake, targets, generator)
+        raise TypeError(f"unsupported oracle type {type(oracle).__name__}")
+
+    def _craft_oue(self, oracle: OUE, num_fake: int, targets: np.ndarray, rng) -> np.ndarray:
+        reports = np.zeros((num_fake, oracle.domain_size), dtype=np.uint8)
+        reports[:, targets] = 1
+        if self.pad_oue_reports:
+            expected_ones = round(
+                oracle.support_probability_true
+                + (oracle.domain_size - 1) * oracle.support_probability_false
+            )
+            deficit = max(0, expected_ones - targets.size)
+            non_targets = np.setdiff1d(np.arange(oracle.domain_size), targets)
+            if deficit and non_targets.size:
+                for row in range(num_fake):
+                    pad = rng.choice(
+                        non_targets, size=min(deficit, non_targets.size), replace=False
+                    )
+                    reports[row, pad] = 1
+        return reports
+
+    def _craft_olh(self, oracle: OLH, num_fake: int, targets: np.ndarray, rng) -> np.ndarray:
+        candidates_a = rng.integers(1, _OLH_PRIME, size=self.olh_seed_candidates, dtype=np.int64)
+        candidates_b = rng.integers(0, _OLH_PRIME, size=self.olh_seed_candidates, dtype=np.int64)
+        buckets = oracle.hash_items(
+            candidates_a[:, None], candidates_b[:, None], targets[None, :]
+        )
+        best_score = -1
+        best = (int(candidates_a[0]), int(candidates_b[0]), 0)
+        for index in range(self.olh_seed_candidates):
+            counts = np.bincount(buckets[index], minlength=oracle.num_buckets)
+            score = int(counts.max())
+            if score > best_score:
+                best_score = score
+                best = (int(candidates_a[index]), int(candidates_b[index]), int(counts.argmax()))
+        a, b, y = best
+        return np.tile(np.array([[a, b, y]], dtype=np.int64), (num_fake, 1))
+
+
+@dataclass
+class FrequencyAttackOutcome:
+    """Gain of a frequency-oracle attack (estimated-frequency shift)."""
+
+    attack_name: str
+    targets: np.ndarray
+    before: np.ndarray
+    after: np.ndarray
+
+    @property
+    def per_target_gain(self) -> np.ndarray:
+        """Frequency shift per target (positive = inflated, the attack goal)."""
+        return self.after - self.before
+
+    @property
+    def total_gain(self) -> float:
+        """Summed frequency gain over targets."""
+        return float(self.per_target_gain.sum())
+
+
+def evaluate_frequency_attack(
+    oracle: FrequencyOracle,
+    genuine_values: np.ndarray,
+    attack: FrequencyAttack,
+    targets: np.ndarray,
+    num_fake: int,
+    rng: RngLike = 0,
+) -> FrequencyAttackOutcome:
+    """Paired before/after evaluation on a frequency oracle.
+
+    *Before*: ``n`` genuine users report honestly.  *After*: the same
+    genuine reports (common random numbers) plus ``num_fake`` crafted
+    reports.  Estimates are always computed over ``n + num_fake`` users so
+    the comparison is apples-to-apples — in the before world the fake users
+    exist but report honestly-random values drawn like genuine ones.
+    """
+    genuine_values = np.asarray(genuine_values, dtype=np.int64)
+    targets = np.unique(np.asarray(targets, dtype=np.int64))
+    generator_genuine = child_rng(rng, "frequency-genuine")
+    genuine_reports = oracle.perturb(genuine_values, rng=generator_genuine)
+
+    honest_fake_values = child_rng(rng, "frequency-fake-honest").integers(
+        0, oracle.domain_size, size=num_fake
+    )
+    honest_fake_reports = oracle.perturb(
+        honest_fake_values, rng=child_rng(rng, "frequency-fake-honest-perturb")
+    )
+    crafted = attack.craft(oracle, num_fake, targets, rng=child_rng(rng, "frequency-craft"))
+
+    before = oracle.estimate_frequencies(
+        np.concatenate([genuine_reports, honest_fake_reports], axis=0)
+    )
+    after = oracle.estimate_frequencies(np.concatenate([genuine_reports, crafted], axis=0))
+    return FrequencyAttackOutcome(
+        attack_name=attack.name,
+        targets=targets,
+        before=before[targets],
+        after=after[targets],
+    )

@@ -1,0 +1,155 @@
+"""Attack evaluation: the overall gain of Eqs. (4)–(5).
+
+``Gain = sum_t |f~_t,after - f~_t,before|`` over the target nodes, where both
+estimates come from full protocol runs.  The *before* run has every user —
+including the (not yet activated) fake users — reporting honestly; the
+*after* run replaces fake users' reports with the attack's crafted values.
+
+By default the two runs share their random streams (common random numbers):
+the protocol derives genuine-user noise from named child streams of one
+seed, so the measured gain isolates the attack's effect instead of LDP noise
+variance.  ``paired=False`` re-randomises the after run for sensitivity
+analysis (benchmarked in ``bench_theory_validation``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.base import Attack
+from repro.core.threat_model import AttackerKnowledge, ThreatModel
+from repro.graph.adjacency import Graph
+from repro.protocols.base import FakeReport, GraphLDPProtocol
+from repro.utils.rng import RngLike, child_rng, ensure_rng
+
+#: Metrics an attack can be evaluated on.
+METRICS = ("degree_centrality", "clustering_coefficient", "modularity")
+
+
+@dataclass
+class AttackOutcome:
+    """Result of one attack evaluation.
+
+    ``before``/``after`` hold the estimated metric of every target (for the
+    global modularity metric they are length-1 arrays).
+    """
+
+    attack_name: str
+    metric: str
+    targets: np.ndarray
+    before: np.ndarray
+    after: np.ndarray
+    overrides: Dict[int, FakeReport]
+
+    @property
+    def per_target_gain(self) -> np.ndarray:
+        """``|f~_after - f~_before|`` per target (Eq. 4)."""
+        return np.abs(self.after - self.before)
+
+    @property
+    def total_gain(self) -> float:
+        """Overall gain: the sum over targets (Eq. 5)."""
+        return float(self.per_target_gain.sum())
+
+    @property
+    def mean_gain(self) -> float:
+        """Average per-target gain (useful across different r)."""
+        return float(self.per_target_gain.mean())
+
+
+def evaluate_attack(
+    graph: Graph,
+    protocol: GraphLDPProtocol,
+    attack: Attack,
+    threat: ThreatModel,
+    metric: str = "degree_centrality",
+    rng: RngLike = 0,
+    labels: Optional[np.ndarray] = None,
+    paired: bool = True,
+) -> AttackOutcome:
+    """Craft, run the paired before/after collections, and measure the gain.
+
+    Parameters
+    ----------
+    metric:
+        One of :data:`METRICS`.  ``"modularity"`` additionally needs
+        ``labels`` (the server-held community labelling).
+    rng:
+        Seed for the whole evaluation; protocol noise and attack randomness
+        use independent child streams.
+    paired:
+        Common random numbers between the two runs (default).
+    """
+    if metric not in METRICS:
+        raise ValueError(f"metric must be one of {METRICS}, got {metric!r}")
+    if metric == "modularity" and labels is None:
+        raise ValueError("modularity evaluation requires community labels")
+
+    knowledge = AttackerKnowledge.from_protocol(protocol, graph)
+    attack_rng = child_rng(rng, "attack-craft")
+    overrides = attack.craft(graph, threat, knowledge, rng=attack_rng)
+
+    missing = np.setdiff1d(threat.fake_users, np.fromiter(overrides.keys(), dtype=np.int64))
+    if missing.size:
+        raise ValueError(f"attack left fake users without reports: {missing.tolist()}")
+
+    protocol_seed = child_rng(rng, "protocol-run").integers(2**63 - 1)
+    before_reports = protocol.collect(graph, int(protocol_seed))
+    after_seed = (
+        int(protocol_seed)
+        if paired
+        else int(child_rng(rng, "protocol-run-after").integers(2**63 - 1))
+    )
+    after_reports = protocol.collect(graph, after_seed, overrides=overrides)
+
+    if metric == "degree_centrality":
+        before = protocol.estimate_degree_centrality(before_reports)[threat.targets]
+        after = protocol.estimate_degree_centrality(after_reports)[threat.targets]
+    elif metric == "clustering_coefficient":
+        before = protocol.estimate_clustering_coefficient(before_reports)[threat.targets]
+        after = protocol.estimate_clustering_coefficient(after_reports)[threat.targets]
+    else:
+        before = np.array([protocol.estimate_modularity(before_reports, labels)])
+        after = np.array([protocol.estimate_modularity(after_reports, labels)])
+
+    return AttackOutcome(
+        attack_name=attack.name,
+        metric=metric,
+        targets=threat.targets,
+        before=np.asarray(before, dtype=np.float64),
+        after=np.asarray(after, dtype=np.float64),
+        overrides=dict(overrides),
+    )
+
+
+def average_gain(
+    graph: Graph,
+    protocol: GraphLDPProtocol,
+    attack: Attack,
+    metric: str,
+    beta: float,
+    gamma: float,
+    trials: int = 3,
+    rng: RngLike = 0,
+    labels: Optional[np.ndarray] = None,
+) -> float:
+    """Mean total gain over ``trials`` independent threat-model draws.
+
+    This is the quantity the paper's figures plot: each trial redraws fake
+    users, targets, attack randomness and protocol noise.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be at least 1, got {trials}")
+    root = ensure_rng(rng)
+    gains = []
+    for trial in range(trials):
+        trial_seed = int(root.integers(2**63 - 1))
+        threat = ThreatModel.sample(graph, beta, gamma, rng=child_rng(trial_seed, "threat"))
+        outcome = evaluate_attack(
+            graph, protocol, attack, threat, metric=metric, rng=trial_seed, labels=labels
+        )
+        gains.append(outcome.total_gain)
+    return float(np.mean(gains))

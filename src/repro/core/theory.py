@@ -1,0 +1,88 @@
+"""Closed-form MGA gains: Theorems 1 and 2.
+
+These are the paper's analytic predictions for the Maximal Gain Attack,
+validated empirically in ``benchmarks/bench_theory_validation.py``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.ldp.mechanisms import rr_keep_probability
+from repro.utils.validation import check_non_negative, check_positive
+
+
+def theorem1_degree_gain(
+    num_fake: int,
+    num_targets: int,
+    num_nodes: int,
+    perturbed_average_degree: float,
+) -> float:
+    """Theorem 1: overall MGA gain on degree centrality.
+
+    ``Gain = m r / (N-1) * ( min(r, floor(d~)) / r  -  d~ / (N-1) )``
+
+    The first bracket term is the per-target crafted connectivity each fake
+    node contributes (capped by the connection budget ``floor(d~)``); the
+    second is the organic connectivity a fake node would have contributed to
+    targets anyway in the honest world — the *before* state of the paired
+    evaluation.
+    """
+    check_positive(num_fake, "num_fake")
+    check_positive(num_targets, "num_targets")
+    check_positive(num_nodes - 1, "num_nodes - 1")
+    check_non_negative(perturbed_average_degree, "perturbed_average_degree")
+    budget = min(num_targets, math.floor(perturbed_average_degree))
+    return (
+        num_fake
+        * num_targets
+        / (num_nodes - 1)
+        * (budget / num_targets - perturbed_average_degree / (num_nodes - 1))
+    )
+
+
+def theorem2_clustering_gain(
+    num_fake: int,
+    num_targets: int,
+    num_nodes: int,
+    perturbed_average_degree: float,
+    adjacency_epsilon: float,
+) -> float:
+    """Theorem 2: overall MGA gain on the clustering coefficient.
+
+    ``Gain = r * 2/(p^2 (2p-1)) * 1/(d~ (d~-1))
+           * m/2 * ( p'(1-p')^2 + p'^2 (1-p') + 3 (1-p')^3 )``
+
+    with ``p' = d~/(N-1)`` the probability that a given fake–target or
+    fake–fake connection already exists organically.  ``m/2`` counts the
+    fake pairs; the bracket weights the triangle completions of Fig. 5's
+    three cases by how many crafted edges each needs.  (The paper's typeset
+    formula is ambiguous about the bracket grouping; ``m/2`` multiplying all
+    three case terms is the reading consistent with "each pair of fake nodes
+    closes triangles at every target".)
+    """
+    check_positive(num_fake, "num_fake")
+    check_positive(num_targets, "num_targets")
+    check_positive(perturbed_average_degree - 1.0, "perturbed_average_degree - 1")
+    keep = rr_keep_probability(adjacency_epsilon)
+    if keep == 0.5:
+        raise ValueError("adjacency_epsilon=0 makes the estimator degenerate")
+    connection_probability = perturbed_average_degree / (num_nodes - 1)
+    if not 0.0 <= connection_probability <= 1.0:
+        raise ValueError(
+            "perturbed_average_degree implies a connection probability outside [0, 1]"
+        )
+    p_prime = connection_probability
+    bracket = (
+        p_prime * (1 - p_prime) ** 2
+        + p_prime**2 * (1 - p_prime)
+        + 3.0 * (1 - p_prime) ** 3
+    )
+    return (
+        num_targets
+        * 2.0
+        / (keep**2 * (2.0 * keep - 1.0))
+        / (perturbed_average_degree * (perturbed_average_degree - 1.0))
+        * (num_fake / 2.0)
+        * bracket
+    )

@@ -1,0 +1,160 @@
+"""The paper's threat model (§IV-A).
+
+An attacker controls ``m = beta * N`` *fake users* — compromised existing
+devices, so in the honest ("before") world they participate with their
+organic data — and aims to distort the estimated metrics of ``r = gamma * N``
+attacker-chosen *target nodes*.  The attacker knows the protocol parameters
+(both sub-budgets), the degree domain, and aggregate degree statistics of the
+perturbed graph; it does not know other users' private edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.adjacency import Graph
+from repro.graph.metrics import average_degree
+from repro.ldp.perturbation import expected_perturbed_degree
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_fraction
+
+
+@dataclass(frozen=True)
+class ThreatModel:
+    """Which users the attacker controls and which nodes it targets.
+
+    Attributes
+    ----------
+    fake_users:
+        Sorted ids of the ``m`` controlled users.
+    targets:
+        Sorted ids of the ``r`` target nodes (disjoint from ``fake_users``:
+        targeting a node you already control is pointless).
+    num_nodes:
+        Total number of participating users ``N = n + m``.
+    """
+
+    fake_users: np.ndarray
+    targets: np.ndarray
+    num_nodes: int
+
+    def __post_init__(self):
+        fakes = np.unique(np.asarray(self.fake_users, dtype=np.int64))
+        targets = np.unique(np.asarray(self.targets, dtype=np.int64))
+        if fakes.size == 0:
+            raise ValueError("threat model needs at least one fake user")
+        if targets.size == 0:
+            raise ValueError("threat model needs at least one target")
+        for name, ids in (("fake_users", fakes), ("targets", targets)):
+            if ids[0] < 0 or ids[-1] >= self.num_nodes:
+                raise ValueError(f"{name} contain ids outside [0, {self.num_nodes})")
+        if np.intersect1d(fakes, targets).size:
+            raise ValueError("fake_users and targets must be disjoint")
+        object.__setattr__(self, "fake_users", fakes)
+        object.__setattr__(self, "targets", targets)
+
+    @property
+    def num_fake(self) -> int:
+        """Number of fake users ``m``."""
+        return int(self.fake_users.size)
+
+    @property
+    def num_targets(self) -> int:
+        """Number of target nodes ``r``."""
+        return int(self.targets.size)
+
+    @property
+    def beta(self) -> float:
+        """Realised fraction of fake users."""
+        return self.num_fake / self.num_nodes
+
+    @property
+    def gamma(self) -> float:
+        """Realised fraction of target nodes."""
+        return self.num_targets / self.num_nodes
+
+    @classmethod
+    def sample(
+        cls, graph: Graph, beta: float, gamma: float, rng: RngLike = None
+    ) -> "ThreatModel":
+        """Draw fake users and targets uniformly at random (Table III setup).
+
+        ``m = max(1, round(beta * N))`` users become fake; targets are drawn
+        from the remaining genuine users.
+        """
+        check_fraction(beta, "beta")
+        check_fraction(gamma, "gamma")
+        generator = ensure_rng(rng)
+        n = graph.num_nodes
+        num_fake = max(1, round(beta * n))
+        num_targets = max(1, round(gamma * n))
+        if num_fake + num_targets > n:
+            raise ValueError(
+                f"beta={beta} and gamma={gamma} leave no room for "
+                f"{num_fake} fake users and {num_targets} disjoint targets in {n} nodes"
+            )
+        permutation = generator.permutation(n)
+        return cls(
+            fake_users=permutation[:num_fake],
+            targets=permutation[num_fake : num_fake + num_targets],
+            num_nodes=n,
+        )
+
+
+@dataclass(frozen=True)
+class AttackerKnowledge:
+    """What the attacker knows about the protocol (§IV-A).
+
+    The attacker sees the client-side implementation, hence both sub-budgets,
+    and knows aggregate degree statistics ("the average degree in the
+    perturbed graph") from which it sizes its connection budget.
+    """
+
+    num_nodes: int
+    adjacency_epsilon: float
+    degree_epsilon: float
+    average_degree: float
+
+    @property
+    def perturbed_average_degree(self) -> float:
+        """Expected average degree after randomized response (``d~``)."""
+        return expected_perturbed_degree(
+            self.average_degree, self.num_nodes, self.adjacency_epsilon
+        )
+
+    @property
+    def connection_budget(self) -> int:
+        """Max crafted connections per fake node (``floor(d~)``, at least 1)."""
+        return max(1, int(self.perturbed_average_degree))
+
+    @property
+    def degree_domain(self) -> int:
+        """Size of the degree value space ``[0, N - 1]``."""
+        return self.num_nodes
+
+    @classmethod
+    def from_protocol(cls, protocol, graph: Graph) -> "AttackerKnowledge":
+        """Derive the knowledge object from a protocol instance.
+
+        Works for both :class:`~repro.protocols.lfgdpr.LFGDPRProtocol`
+        (``budget`` attribute) and
+        :class:`~repro.protocols.ldpgen.LDPGenProtocol` (``phase_epsilon``).
+        """
+        if hasattr(protocol, "budget"):
+            eps1 = protocol.budget.adjacency_epsilon
+            eps2 = protocol.budget.degree_epsilon
+        elif hasattr(protocol, "phase_epsilon"):
+            eps1 = protocol.phase_epsilon
+            eps2 = protocol.phase_epsilon
+        else:
+            raise TypeError(
+                f"cannot derive attacker knowledge from {type(protocol).__name__}"
+            )
+        return cls(
+            num_nodes=graph.num_nodes,
+            adjacency_epsilon=eps1,
+            degree_epsilon=eps2,
+            average_degree=average_degree(graph),
+        )

@@ -1,0 +1,63 @@
+"""The naive baseline detectors of Exp 7/8.
+
+The paper compares its countermeasures against two blunt heuristics:
+
+* **Naive1** — flag the top 3% of nodes by (bit-vector) degree, the hunch
+  being that MGA inflates fake nodes' claim counts.
+* **Naive2** — flag nodes whose reported degree sits in the top *or* bottom
+  3% of the degree distribution, the hunch being that RVA's uniform degree
+  draws land in the tails.
+
+Both mostly flag genuine nodes (hubs and leaves exist organically), which is
+why they can *increase* the measured gain — removing genuine data distorts
+the estimates further.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.defenses.base import Defense, remove_flagged_pairs, resample_flagged_rows
+from repro.protocols.base import CollectedReports
+from repro.utils.rng import RngLike
+from repro.utils.validation import check_fraction
+
+
+class NaiveTopDegreeDefense(Defense):
+    """Naive1: flag the highest-degree rows of the collected matrix."""
+
+    name = "Naive1"
+
+    def __init__(self, fraction: float = 0.03, rng: RngLike = 0):
+        check_fraction(fraction, "fraction")
+        self.fraction = float(fraction)
+        self.rng = rng
+
+    def detect(self, reports: CollectedReports) -> np.ndarray:
+        degrees = reports.perturbed_graph.degrees()
+        count = max(1, round(self.fraction * reports.num_nodes))
+        flagged = np.argsort(degrees)[::-1][:count]
+        return np.sort(flagged).astype(np.int64)
+
+    def repair(self, reports: CollectedReports, flagged: np.ndarray) -> CollectedReports:
+        return resample_flagged_rows(reports, flagged, rng=self.rng)
+
+
+class NaiveDegreeTailsDefense(Defense):
+    """Naive2: flag the tails of the reported-degree distribution."""
+
+    name = "Naive2"
+
+    def __init__(self, fraction: float = 0.03):
+        check_fraction(fraction, "fraction")
+        self.fraction = float(fraction)
+
+    def detect(self, reports: CollectedReports) -> np.ndarray:
+        reported = np.asarray(reports.reported_degrees, dtype=np.float64)
+        count = max(1, round(self.fraction * reports.num_nodes))
+        order = np.argsort(reported)
+        flagged = np.concatenate([order[:count], order[-count:]])
+        return np.sort(np.unique(flagged)).astype(np.int64)
+
+    def repair(self, reports: CollectedReports, flagged: np.ndarray) -> CollectedReports:
+        return remove_flagged_pairs(reports, flagged)

@@ -1,0 +1,132 @@
+"""Command-line interface: regenerate any paper artifact from the shell.
+
+Examples
+--------
+List everything that can be run::
+
+    python -m repro list
+
+Regenerate Fig. 6 for the Facebook surrogate at a laptop-friendly scale::
+
+    python -m repro fig6 --dataset facebook --scale 0.2 --trials 2
+
+Print Table II::
+
+    python -m repro table2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments import figures
+from repro.experiments.config import DATASET_NAMES, ExperimentConfig
+from repro.experiments.reporting import format_table
+
+#: Figure drivers that take (dataset, config).
+_PER_DATASET: Dict[str, Callable] = {
+    "fig6": figures.fig6,
+    "fig7": figures.fig7,
+    "fig8": figures.fig8,
+    "fig9": figures.fig9,
+    "fig10": figures.fig10,
+    "fig11": figures.fig11,
+}
+
+#: Figure drivers that take (config, dataset) and default to facebook.
+_DEFENSE_FIGURES: Dict[str, Callable] = {
+    "fig12a": figures.fig12a,
+    "fig12b": figures.fig12b,
+    "fig13a": figures.fig13a,
+    "fig13b": figures.fig13b,
+}
+
+#: Two-panel protocol comparisons.
+_PROTOCOL_FIGURES: Dict[str, Callable] = {
+    "fig14": figures.fig14,
+    "fig15": figures.fig15,
+}
+
+ARTIFACTS = ["table2", *_PER_DATASET, *_DEFENSE_FIGURES, *_PROTOCOL_FIGURES]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate tables/figures of 'Data Poisoning Attacks to "
+        "LDP Protocols for Graphs' (ICDE 2025).",
+    )
+    parser.add_argument(
+        "artifact",
+        choices=["list", *ARTIFACTS],
+        help="which artifact to regenerate (or 'list' to enumerate them)",
+    )
+    parser.add_argument(
+        "--dataset",
+        default="facebook",
+        choices=DATASET_NAMES,
+        help="dataset surrogate (per-dataset figures only)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=None,
+        help="dataset scale in (0, 1]; default: the dataset's laptop scale",
+    )
+    parser.add_argument("--trials", type=int, default=2, help="trials per data point")
+    parser.add_argument("--seed", type=int, default=0, help="root seed")
+    parser.add_argument("--epsilon", type=float, default=4.0, help="default privacy budget")
+    parser.add_argument("--beta", type=float, default=0.05, help="fake-user fraction")
+    parser.add_argument("--gamma", type=float, default=0.05, help="target fraction")
+    return parser
+
+
+def run(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """Entry point; returns a process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+
+    if args.artifact == "list":
+        lines: List[str] = ["available artifacts:"]
+        lines.append("  table2       dataset statistics")
+        for name in _PER_DATASET:
+            lines.append(f"  {name:<12} per-dataset attack sweep (use --dataset)")
+        for name in _DEFENSE_FIGURES:
+            lines.append(f"  {name:<12} countermeasure sweep (facebook)")
+        for name in _PROTOCOL_FIGURES:
+            lines.append(f"  {name:<12} LF-GDPR vs LDPGen comparison")
+        print("\n".join(lines), file=out)
+        return 0
+
+    config = ExperimentConfig(
+        beta=args.beta, gamma=args.gamma, epsilon=args.epsilon,
+        trials=args.trials, seed=args.seed, scale=args.scale,
+    )
+
+    if args.artifact == "table2":
+        rows = figures.table2_rows(config)
+        print(
+            format_table(
+                ["dataset", "paper nodes", "paper edges", "surrogate nodes", "surrogate edges"],
+                rows,
+                title="Table II",
+            ),
+            file=out,
+        )
+        return 0
+
+    if args.artifact in _PER_DATASET:
+        result = _PER_DATASET[args.artifact](args.dataset, config)
+        print(result.format(), file=out)
+        return 0
+
+    if args.artifact in _DEFENSE_FIGURES:
+        result = _DEFENSE_FIGURES[args.artifact](config, dataset=args.dataset)
+        print(result.format(), file=out)
+        return 0
+
+    results = _PROTOCOL_FIGURES[args.artifact](config, dataset=args.dataset)
+    for sweep in results.values():
+        print(sweep.format(), file=out)
+        print(file=out)
+    return 0

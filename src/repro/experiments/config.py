@@ -1,0 +1,79 @@
+"""Experiment configuration: Table III defaults and the sweep grids of §VIII.
+
+Every value here is lifted from the paper's evaluation setup:
+
+* Table III — ``beta = 0.05``, ``gamma = 0.05``, ``epsilon = 4``;
+* Exps 1/4/9 sweep ``epsilon`` over 1..8;
+* Exps 2/3/5/6 sweep ``beta``/``gamma`` over {0.001, 0.005, 0.01, 0.05, 0.1};
+* Exp 7 sweeps the Detect1 threshold over {50..300} and Detect2's ``beta``
+  over {0.001, ..., 0.15};
+* Exp 8 sweeps the Detect1 threshold over {50..150}.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.utils.validation import check_fraction, check_positive
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Shared knobs for all experiment drivers.
+
+    Attributes
+    ----------
+    beta / gamma / epsilon:
+        The Table III defaults, overridden by whichever parameter a figure
+        sweeps.
+    trials:
+        Independent threat-model draws averaged per data point.
+    seed:
+        Root seed; every trial derives child streams from it.
+    scale:
+        Dataset scale override (``None`` uses each dataset's default scale;
+        benchmarks pass smaller values for quick runs).
+    """
+
+    beta: float = 0.05
+    gamma: float = 0.05
+    epsilon: float = 4.0
+    trials: int = 3
+    seed: int = 0
+    scale: Optional[float] = None
+
+    def __post_init__(self):
+        check_fraction(self.beta, "beta")
+        check_fraction(self.gamma, "gamma")
+        check_positive(self.epsilon, "epsilon")
+        check_positive(self.trials, "trials")
+
+    def with_overrides(self, **kwargs) -> "ExperimentConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: Table III defaults.
+DEFAULT_CONFIG = ExperimentConfig()
+
+#: The four evaluation datasets in paper order.
+DATASET_NAMES = ("facebook", "enron", "astroph", "gplus")
+
+#: Privacy-budget sweep of Exps 1, 4 and 9 (Figs. 6, 9, 14, 15).
+EPSILONS = (1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0)
+
+#: Fake-user-fraction sweep of Exps 2 and 5 (Figs. 7, 10).
+BETAS = (0.001, 0.005, 0.01, 0.05, 0.1)
+
+#: Target-fraction sweep of Exps 3 and 6 (Figs. 8, 11).
+GAMMAS = (0.001, 0.005, 0.01, 0.05, 0.1)
+
+#: Detect1 threshold sweep against MGA on degree centrality (Fig. 12(a)).
+DETECT1_THRESHOLDS_DEGREE = (50, 100, 150, 200, 250, 300)
+
+#: Detect1 threshold sweep against MGA on clustering coefficient (Fig. 13(a)).
+DETECT1_THRESHOLDS_CLUSTERING = (50, 75, 100, 125, 150)
+
+#: Fake-user fractions for the Detect2-vs-RVA panels (Figs. 12(b), 13(b)).
+DETECT2_BETAS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.15)

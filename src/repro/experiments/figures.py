@@ -1,0 +1,313 @@
+"""Per-figure experiment drivers: one function per table/figure of §VIII.
+
+Each driver loads the dataset surrogate, runs the sweep the figure plots and
+returns a :class:`~repro.experiments.runner.SweepResult` (or a dict of them
+for the two-panel figures).  The benchmark modules under ``benchmarks/``
+call these and print the resulting tables; EXPERIMENTS.md records how the
+shapes compare with the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.base import Attack
+from repro.core.degree_attacks import DegreeMGA, DegreeRVA
+from repro.core.clustering_attacks import ClusteringMGA, ClusteringRVA
+from repro.core.threat_model import ThreatModel
+from repro.defenses.base import Defense
+from repro.defenses.degree_consistency import DegreeConsistencyDefense
+from repro.defenses.evaluation import evaluate_defended_attack
+from repro.defenses.frequent_itemset import FrequentItemsetDefense
+from repro.defenses.naive import NaiveDegreeTailsDefense, NaiveTopDegreeDefense
+from repro.core.gain import evaluate_attack
+from repro.experiments.config import (
+    BETAS,
+    DATASET_NAMES,
+    DEFAULT_CONFIG,
+    DETECT1_THRESHOLDS_CLUSTERING,
+    DETECT1_THRESHOLDS_DEGREE,
+    DETECT2_BETAS,
+    EPSILONS,
+    GAMMAS,
+    ExperimentConfig,
+)
+from repro.experiments.runner import SweepResult, run_attack_sweep
+from repro.graph.adjacency import Graph
+from repro.graph.datasets import DATASETS, load_dataset
+from repro.protocols.ldpgen import LDPGenProtocol
+from repro.protocols.lfgdpr import LFGDPRProtocol
+from repro.utils.rng import child_rng
+
+
+def _load(dataset: str, config: ExperimentConfig) -> Graph:
+    return load_dataset(dataset, scale=config.scale, rng=config.seed)
+
+
+def community_labels(graph: Graph) -> np.ndarray:
+    """Greedy-modularity community labelling of the original graph.
+
+    LF-GDPR's modularity estimator needs a server-held partition; the paper
+    does not specify one, so we fix the standard greedy-modularity partition
+    (DESIGN.md §2).
+    """
+    import networkx as nx
+
+    communities = nx.algorithms.community.greedy_modularity_communities(
+        graph.to_networkx()
+    )
+    labels = np.zeros(graph.num_nodes, dtype=np.int64)
+    for community_id, members in enumerate(communities):
+        labels[list(members)] = community_id
+    return labels
+
+
+# ---------------------------------------------------------------------------
+# Table II
+# ---------------------------------------------------------------------------
+def table2_rows(config: ExperimentConfig = DEFAULT_CONFIG) -> List[Tuple[str, int, int, int, int]]:
+    """(dataset, paper nodes, paper edges, surrogate nodes, surrogate edges)."""
+    rows = []
+    for name in DATASET_NAMES:
+        spec = DATASETS[name]
+        graph = _load(name, config)
+        rows.append((name, spec.paper_nodes, spec.paper_edges, graph.num_nodes, graph.num_edges))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figs. 6-8: degree centrality (Exps 1-3)
+# ---------------------------------------------------------------------------
+def fig6(dataset: str, config: ExperimentConfig = DEFAULT_CONFIG) -> SweepResult:
+    """Overall gains of attacks to degree centrality vs epsilon."""
+    return run_attack_sweep(
+        _load(dataset, config), dataset, "degree_centrality", "epsilon",
+        EPSILONS, config, figure="Fig6",
+    )
+
+
+def fig7(dataset: str, config: ExperimentConfig = DEFAULT_CONFIG) -> SweepResult:
+    """Impact of beta on attacks to degree centrality."""
+    return run_attack_sweep(
+        _load(dataset, config), dataset, "degree_centrality", "beta",
+        BETAS, config, figure="Fig7",
+    )
+
+
+def fig8(dataset: str, config: ExperimentConfig = DEFAULT_CONFIG) -> SweepResult:
+    """Impact of gamma on attacks to degree centrality."""
+    return run_attack_sweep(
+        _load(dataset, config), dataset, "degree_centrality", "gamma",
+        GAMMAS, config, figure="Fig8",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figs. 9-11: clustering coefficient (Exps 4-6)
+# ---------------------------------------------------------------------------
+def fig9(dataset: str, config: ExperimentConfig = DEFAULT_CONFIG) -> SweepResult:
+    """Overall gains of attacks to clustering coefficient vs epsilon."""
+    return run_attack_sweep(
+        _load(dataset, config), dataset, "clustering_coefficient", "epsilon",
+        EPSILONS, config, figure="Fig9",
+    )
+
+
+def fig10(dataset: str, config: ExperimentConfig = DEFAULT_CONFIG) -> SweepResult:
+    """Impact of beta on attacks to clustering coefficient."""
+    return run_attack_sweep(
+        _load(dataset, config), dataset, "clustering_coefficient", "beta",
+        BETAS, config, figure="Fig10",
+    )
+
+
+def fig11(dataset: str, config: ExperimentConfig = DEFAULT_CONFIG) -> SweepResult:
+    """Impact of gamma on attacks to clustering coefficient."""
+    return run_attack_sweep(
+        _load(dataset, config), dataset, "clustering_coefficient", "gamma",
+        GAMMAS, config, figure="Fig11",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figs. 12-13: countermeasures (Exps 7-8)
+# ---------------------------------------------------------------------------
+def _average_defended_gain(
+    graph: Graph,
+    protocol: LFGDPRProtocol,
+    attack: Attack,
+    defense: Optional[Defense],
+    metric: str,
+    beta: float,
+    gamma: float,
+    trials: int,
+    seed,
+) -> float:
+    """Mean (defended) gain over independent threat draws."""
+    gains = []
+    for trial in range(trials):
+        trial_seed = int(child_rng(seed, f"defense-trial-{trial}").integers(2**63 - 1))
+        threat = ThreatModel.sample(graph, beta, gamma, rng=child_rng(trial_seed, "threat"))
+        if defense is None:
+            outcome = evaluate_attack(
+                graph, protocol, attack, threat, metric=metric, rng=trial_seed
+            )
+        else:
+            outcome = evaluate_defended_attack(
+                graph, protocol, attack, defense, threat, metric=metric, rng=trial_seed
+            )
+        gains.append(outcome.total_gain)
+    return float(np.mean(gains))
+
+
+def _defense_threshold_sweep(
+    metric: str,
+    attack_factory: Callable[[], Attack],
+    thresholds: Sequence[int],
+    dataset: str,
+    config: ExperimentConfig,
+    figure: str,
+) -> SweepResult:
+    """Detect1 vs Naive1 vs no defense across the Detect1 threshold."""
+    graph = _load(dataset, config)
+    protocol = LFGDPRProtocol(epsilon=config.epsilon)
+    common = dict(
+        graph=graph, protocol=protocol, metric=metric,
+        beta=config.beta, gamma=config.gamma, trials=config.trials,
+    )
+    no_defense = _average_defended_gain(
+        attack=attack_factory(), defense=None, seed=child_rng(config.seed, f"{figure}-none"),
+        **common,
+    )
+    naive = _average_defended_gain(
+        attack=attack_factory(), defense=NaiveTopDegreeDefense(),
+        seed=child_rng(config.seed, f"{figure}-naive"), **common,
+    )
+    result = SweepResult(
+        figure=figure, dataset=dataset, metric=metric, parameter="threshold",
+        values=list(thresholds),
+        series={"NoDefense": [], "Detect1": [], "Naive1": []},
+    )
+    for threshold in thresholds:
+        detect1 = _average_defended_gain(
+            attack=attack_factory(),
+            defense=FrequentItemsetDefense(threshold=threshold),
+            seed=child_rng(config.seed, f"{figure}-detect1-{threshold}"),
+            **common,
+        )
+        result.series["NoDefense"].append(no_defense)
+        result.series["Detect1"].append(detect1)
+        result.series["Naive1"].append(naive)
+    return result
+
+
+def _defense_beta_sweep(
+    metric: str,
+    attack_factory: Callable[[], Attack],
+    betas: Sequence[float],
+    dataset: str,
+    config: ExperimentConfig,
+    figure: str,
+) -> SweepResult:
+    """Detect2 vs Naive2 vs no defense across the fake-user fraction."""
+    graph = _load(dataset, config)
+    protocol = LFGDPRProtocol(epsilon=config.epsilon)
+    result = SweepResult(
+        figure=figure, dataset=dataset, metric=metric, parameter="beta",
+        values=list(betas),
+        series={"NoDefense": [], "Detect2": [], "Naive2": []},
+    )
+    for beta in betas:
+        common = dict(
+            graph=graph, protocol=protocol, metric=metric,
+            beta=beta, gamma=config.gamma, trials=config.trials,
+        )
+        result.series["NoDefense"].append(
+            _average_defended_gain(
+                attack=attack_factory(), defense=None,
+                seed=child_rng(config.seed, f"{figure}-none-{beta}"), **common,
+            )
+        )
+        result.series["Detect2"].append(
+            _average_defended_gain(
+                attack=attack_factory(), defense=DegreeConsistencyDefense(),
+                seed=child_rng(config.seed, f"{figure}-detect2-{beta}"), **common,
+            )
+        )
+        result.series["Naive2"].append(
+            _average_defended_gain(
+                attack=attack_factory(), defense=NaiveDegreeTailsDefense(),
+                seed=child_rng(config.seed, f"{figure}-naive2-{beta}"), **common,
+            )
+        )
+    return result
+
+
+def fig12a(config: ExperimentConfig = DEFAULT_CONFIG, dataset: str = "facebook") -> SweepResult:
+    """Detect1/Naive1 against MGA on degree centrality vs threshold."""
+    return _defense_threshold_sweep(
+        "degree_centrality", DegreeMGA, DETECT1_THRESHOLDS_DEGREE, dataset, config, "Fig12a"
+    )
+
+
+def fig12b(config: ExperimentConfig = DEFAULT_CONFIG, dataset: str = "facebook") -> SweepResult:
+    """Detect2/Naive2 against RVA on degree centrality vs beta."""
+    return _defense_beta_sweep(
+        "degree_centrality", DegreeRVA, DETECT2_BETAS, dataset, config, "Fig12b"
+    )
+
+
+def fig13a(config: ExperimentConfig = DEFAULT_CONFIG, dataset: str = "facebook") -> SweepResult:
+    """Detect1/Naive1 against MGA on clustering coefficient vs threshold."""
+    return _defense_threshold_sweep(
+        "clustering_coefficient", ClusteringMGA, DETECT1_THRESHOLDS_CLUSTERING,
+        dataset, config, "Fig13a",
+    )
+
+
+def fig13b(config: ExperimentConfig = DEFAULT_CONFIG, dataset: str = "facebook") -> SweepResult:
+    """Detect2/Naive2 against RVA on clustering coefficient vs beta."""
+    return _defense_beta_sweep(
+        "clustering_coefficient", ClusteringRVA, DETECT2_BETAS, dataset, config, "Fig13b"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figs. 14-15: LF-GDPR vs LDPGen (Exp 9)
+# ---------------------------------------------------------------------------
+def _protocol_comparison(
+    metric: str,
+    dataset: str,
+    config: ExperimentConfig,
+    figure: str,
+    epsilons: Sequence[float] = EPSILONS,
+) -> Dict[str, SweepResult]:
+    graph = _load(dataset, config)
+    labels = community_labels(graph) if metric == "modularity" else None
+    results = {}
+    for name, factory in (("LF-GDPR", LFGDPRProtocol), ("LDPGen", LDPGenProtocol)):
+        results[name] = run_attack_sweep(
+            graph, dataset, metric, "epsilon", epsilons, config,
+            protocol_factory=factory, labels=labels, figure=f"{figure}-{name}",
+        )
+    return results
+
+
+def fig14(
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    dataset: str = "facebook",
+    epsilons: Sequence[float] = EPSILONS,
+) -> Dict[str, SweepResult]:
+    """Attacks on LF-GDPR and LDPGen: clustering coefficient vs epsilon."""
+    return _protocol_comparison("clustering_coefficient", dataset, config, "Fig14", epsilons)
+
+
+def fig15(
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    dataset: str = "facebook",
+    epsilons: Sequence[float] = EPSILONS,
+) -> Dict[str, SweepResult]:
+    """Attacks on LF-GDPR and LDPGen: modularity vs epsilon."""
+    return _protocol_comparison("modularity", dataset, config, "Fig15", epsilons)

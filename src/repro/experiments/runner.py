@@ -1,0 +1,133 @@
+"""Generic sweep runner shared by all figure drivers.
+
+One experiment point = the mean overall gain of one attack over
+``config.trials`` independent threat-model draws; a *sweep* varies one
+parameter (epsilon, beta or gamma) while the rest stay at Table III
+defaults, producing one series per attack — exactly the curves the paper's
+figures plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.base import Attack
+from repro.core.clustering_attacks import ClusteringMGA, ClusteringRNA, ClusteringRVA
+from repro.core.degree_attacks import DegreeMGA, DegreeRNA, DegreeRVA
+from repro.core.gain import average_gain
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_table
+from repro.graph.adjacency import Graph
+from repro.protocols.base import GraphLDPProtocol
+from repro.protocols.lfgdpr import LFGDPRProtocol
+from repro.utils.rng import child_rng
+
+#: Parameters a sweep may vary.
+SWEEPABLE = ("epsilon", "beta", "gamma")
+
+#: Attack constructors in the paper's presentation order.
+DEGREE_ATTACKS: Dict[str, Callable[[], Attack]] = {
+    "RVA": DegreeRVA,
+    "RNA": DegreeRNA,
+    "MGA": DegreeMGA,
+}
+CLUSTERING_ATTACKS: Dict[str, Callable[[], Attack]] = {
+    "RVA": ClusteringRVA,
+    "RNA": ClusteringRNA,
+    "MGA": ClusteringMGA,
+}
+
+
+@dataclass
+class SweepResult:
+    """Gain curves of several attacks across one swept parameter."""
+
+    figure: str
+    dataset: str
+    metric: str
+    parameter: str
+    values: Sequence[float]
+    series: Dict[str, List[float]] = field(default_factory=dict)
+
+    def format(self) -> str:
+        """Render the sweep as the table the paper's figure plots."""
+        headers = [self.parameter] + list(self.series)
+        rows = [
+            [value] + [self.series[name][index] for name in self.series]
+            for index, value in enumerate(self.values)
+        ]
+        title = f"{self.figure} — {self.dataset} — {self.metric}"
+        return format_table(headers, rows, title=title)
+
+    def gains_of(self, attack_name: str) -> List[float]:
+        """Series of one attack; raises KeyError with context if absent."""
+        if attack_name not in self.series:
+            known = ", ".join(self.series)
+            raise KeyError(f"no series {attack_name!r}; have: {known}")
+        return self.series[attack_name]
+
+
+def run_attack_sweep(
+    graph: Graph,
+    dataset: str,
+    metric: str,
+    parameter: str,
+    values: Sequence[float],
+    config: ExperimentConfig,
+    attacks: Optional[Mapping[str, Callable[[], Attack]]] = None,
+    protocol_factory: Callable[[float], GraphLDPProtocol] = LFGDPRProtocol,
+    labels: Optional[np.ndarray] = None,
+    figure: str = "",
+) -> SweepResult:
+    """Run one figure's sweep and return the gain curves.
+
+    Parameters
+    ----------
+    parameter / values:
+        Which of ``epsilon``/``beta``/``gamma`` varies and over which grid.
+    attacks:
+        Name -> constructor mapping; defaults to the degree attacks for
+        ``degree_centrality`` and the clustering attacks otherwise.
+    protocol_factory:
+        Called with the (possibly swept) epsilon; lets Exp 9 swap in LDPGen.
+    labels:
+        Community labels, required when ``metric == "modularity"``.
+    """
+    if parameter not in SWEEPABLE:
+        raise ValueError(f"parameter must be one of {SWEEPABLE}, got {parameter!r}")
+    if attacks is None:
+        attacks = DEGREE_ATTACKS if metric == "degree_centrality" else CLUSTERING_ATTACKS
+
+    result = SweepResult(
+        figure=figure,
+        dataset=dataset,
+        metric=metric,
+        parameter=parameter,
+        values=list(values),
+        series={name: [] for name in attacks},
+    )
+    for value in values:
+        point = {
+            "epsilon": config.epsilon,
+            "beta": config.beta,
+            "gamma": config.gamma,
+            parameter: value,
+        }
+        protocol = protocol_factory(point["epsilon"])
+        for name, make_attack in attacks.items():
+            gain = average_gain(
+                graph,
+                protocol,
+                make_attack(),
+                metric,
+                beta=point["beta"],
+                gamma=point["gamma"],
+                trials=config.trials,
+                rng=child_rng(config.seed, f"{figure}-{dataset}-{name}-{value}"),
+                labels=labels,
+            )
+            result.series[name].append(gain)
+    return result

@@ -1,0 +1,36 @@
+"""Graph substrate: sparse undirected graphs, metrics, generators, datasets."""
+
+from repro.graph.adjacency import Graph
+from repro.graph.datasets import DATASETS, DatasetSpec, load_dataset
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    powerlaw_cluster_graph,
+)
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.metrics import (
+    average_degree,
+    degree_centrality,
+    edge_density,
+    local_clustering_coefficients,
+    modularity,
+    triangles_per_node,
+)
+
+__all__ = [
+    "Graph",
+    "DATASETS",
+    "DatasetSpec",
+    "load_dataset",
+    "barabasi_albert_graph",
+    "erdos_renyi_graph",
+    "powerlaw_cluster_graph",
+    "read_edge_list",
+    "write_edge_list",
+    "average_degree",
+    "degree_centrality",
+    "edge_density",
+    "local_clustering_coefficients",
+    "modularity",
+    "triangles_per_node",
+]

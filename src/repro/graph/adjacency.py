@@ -1,0 +1,247 @@
+"""Sparse undirected simple graphs with adjacency-bit-vector views.
+
+The LDP protocols in this library operate on the *adjacency bit vector* of
+each user (the row of the adjacency matrix belonging to that user) and on the
+user's degree.  :class:`Graph` stores the edge set sparsely — as a sorted
+array of unordered-pair codes — so graphs with tens of thousands of nodes fit
+comfortably in memory, while still offering O(deg) neighbour queries through a
+CSR index and on-demand dense bit-vector rows for small graphs.
+
+Graphs are value-style objects: mutating operations return new graphs.  This
+keeps before/after attack comparisons safe by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils.sparse import decode_pairs, encode_pairs, pair_count
+from repro.utils.validation import check_non_negative
+
+
+class Graph:
+    """An immutable, undirected simple graph on nodes ``0 .. num_nodes - 1``.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes.  Isolated nodes are allowed.
+    edges:
+        Iterable of ``(u, v)`` pairs.  Duplicates and orientation are
+        normalised away; self-loops raise.
+
+    Examples
+    --------
+    >>> g = Graph(4, [(0, 1), (1, 2), (2, 0)])
+    >>> g.num_edges
+    3
+    >>> sorted(g.neighbors(0))
+    [1, 2]
+    >>> g.has_edge(0, 3)
+    False
+    """
+
+    __slots__ = ("_num_nodes", "_codes", "_indptr", "_indices", "_degrees")
+
+    def __init__(self, num_nodes: int, edges: Iterable[Tuple[int, int]] = ()):
+        check_non_negative(num_nodes, "num_nodes")
+        self._num_nodes = int(num_nodes)
+        edge_array = np.asarray(list(edges), dtype=np.int64)
+        if edge_array.size == 0:
+            codes = np.empty(0, dtype=np.int64)
+        else:
+            if edge_array.ndim != 2 or edge_array.shape[1] != 2:
+                raise ValueError("edges must be an iterable of (u, v) pairs")
+            codes = np.unique(encode_pairs(edge_array[:, 0], edge_array[:, 1], self._num_nodes))
+        self._codes = codes
+        self._indptr, self._indices, self._degrees = self._build_csr()
+
+    @classmethod
+    def from_codes(cls, num_nodes: int, codes: np.ndarray) -> "Graph":
+        """Build a graph directly from sorted unique unordered-pair codes."""
+        graph = cls.__new__(cls)
+        graph._num_nodes = int(num_nodes)
+        codes = np.asarray(codes, dtype=np.int64)
+        if codes.size:
+            codes = np.unique(codes)
+            if codes[0] < 0 or codes[-1] >= pair_count(num_nodes):
+                raise ValueError("edge code out of range for num_nodes")
+        graph._codes = codes
+        graph._indptr, graph._indices, graph._degrees = graph._build_csr()
+        return graph
+
+    @classmethod
+    def from_networkx(cls, nx_graph) -> "Graph":
+        """Convert a :class:`networkx.Graph`; nodes are relabelled 0..n-1."""
+        nodes = list(nx_graph.nodes())
+        index = {node: position for position, node in enumerate(nodes)}
+        edges = [(index[u], index[v]) for u, v in nx_graph.edges() if u != v]
+        return cls(len(nodes), edges)
+
+    def to_networkx(self):
+        """Export to :class:`networkx.Graph` (imported lazily)."""
+        import networkx as nx
+
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(range(self._num_nodes))
+        rows, cols = self.edge_arrays()
+        nx_graph.add_edges_from(zip(rows.tolist(), cols.tolist()))
+        return nx_graph
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return self._num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return int(self._codes.size)
+
+    @property
+    def edge_codes(self) -> np.ndarray:
+        """Sorted unique unordered-pair codes of the edges (read-only view)."""
+        view = self._codes.view()
+        view.flags.writeable = False
+        return view
+
+    def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Edges as two aligned arrays ``(rows, cols)`` with ``rows < cols``."""
+        return decode_pairs(self._codes, self._num_nodes)
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over edges as python int pairs, ``u < v``."""
+        rows, cols = self.edge_arrays()
+        return zip(rows.tolist(), cols.tolist())
+
+    def degrees(self) -> np.ndarray:
+        """Degree of every node (read-only array of length ``num_nodes``)."""
+        view = self._degrees.view()
+        view.flags.writeable = False
+        return view
+
+    def degree(self, node: int) -> int:
+        """Degree of a single node."""
+        self._check_node(node)
+        return int(self._degrees[node])
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Sorted neighbour ids of ``node``."""
+        self._check_node(node)
+        return self._indices[self._indptr[node] : self._indptr[node + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``{u, v}`` exists."""
+        self._check_node(u)
+        self._check_node(v)
+        if u == v:
+            return False
+        code = encode_pairs(np.array([u]), np.array([v]), self._num_nodes)[0]
+        position = np.searchsorted(self._codes, code)
+        return bool(position < self._codes.size and self._codes[position] == code)
+
+    def adjacency_bit_vector(self, node: int) -> np.ndarray:
+        """Dense 0/1 adjacency row of ``node`` (the user's local view).
+
+        This is exactly what a user submits to an LDP protocol before
+        perturbation.  O(num_nodes) memory per call; fine for the per-user
+        report granularity the protocols need.
+        """
+        self._check_node(node)
+        row = np.zeros(self._num_nodes, dtype=np.uint8)
+        row[self.neighbors(node)] = 1
+        return row
+
+    def csr(self) -> sp.csr_matrix:
+        """Symmetric adjacency matrix in CSR form (0/1, int8)."""
+        rows, cols = self.edge_arrays()
+        data = np.ones(2 * rows.size, dtype=np.int8)
+        all_rows = np.concatenate([rows, cols])
+        all_cols = np.concatenate([cols, rows])
+        return sp.csr_matrix(
+            (data, (all_rows, all_cols)), shape=(self._num_nodes, self._num_nodes)
+        )
+
+    # ------------------------------------------------------------------
+    # Value-style edits
+    # ------------------------------------------------------------------
+    def with_edges(self, edges: Iterable[Tuple[int, int]]) -> "Graph":
+        """A new graph with ``edges`` added (existing edges are kept)."""
+        new_edges = np.asarray(list(edges), dtype=np.int64)
+        if new_edges.size == 0:
+            return self
+        codes = encode_pairs(new_edges[:, 0], new_edges[:, 1], self._num_nodes)
+        merged = np.union1d(self._codes, codes)
+        return Graph.from_codes(self._num_nodes, merged)
+
+    def without_edges(self, edges: Iterable[Tuple[int, int]]) -> "Graph":
+        """A new graph with ``edges`` removed (missing edges are ignored)."""
+        drop = np.asarray(list(edges), dtype=np.int64)
+        if drop.size == 0:
+            return self
+        codes = encode_pairs(drop[:, 0], drop[:, 1], self._num_nodes)
+        kept = np.setdiff1d(self._codes, codes)
+        return Graph.from_codes(self._num_nodes, kept)
+
+    def with_nodes(self, extra_nodes: int) -> "Graph":
+        """A new graph with ``extra_nodes`` appended as isolated nodes.
+
+        Edge codes depend on ``num_nodes``, so they are re-encoded.
+        """
+        check_non_negative(extra_nodes, "extra_nodes")
+        if extra_nodes == 0:
+            return self
+        rows, cols = self.edge_arrays()
+        new_n = self._num_nodes + int(extra_nodes)
+        codes = encode_pairs(rows, cols, new_n) if rows.size else np.empty(0, dtype=np.int64)
+        return Graph.from_codes(new_n, codes)
+
+    def subgraph(self, nodes: Sequence[int]) -> "Graph":
+        """Induced subgraph on ``nodes`` (relabelled to 0..len(nodes)-1)."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if nodes.size != np.unique(nodes).size:
+            raise ValueError("subgraph nodes must be unique")
+        mapping = -np.ones(self._num_nodes, dtype=np.int64)
+        mapping[nodes] = np.arange(nodes.size)
+        rows, cols = self.edge_arrays()
+        keep = (mapping[rows] >= 0) & (mapping[cols] >= 0)
+        edges = np.stack([mapping[rows[keep]], mapping[cols[keep]]], axis=1)
+        return Graph(nodes.size, edges)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _build_csr(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        rows, cols = decode_pairs(self._codes, self._num_nodes)
+        all_rows = np.concatenate([rows, cols])
+        all_cols = np.concatenate([cols, rows])
+        order = np.lexsort((all_cols, all_rows))
+        sorted_rows = all_rows[order]
+        sorted_cols = all_cols[order]
+        degrees = np.bincount(sorted_rows, minlength=self._num_nodes).astype(np.int64)
+        indptr = np.zeros(self._num_nodes + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        return indptr, sorted_cols, degrees
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self._num_nodes:
+            raise IndexError(f"node {node} out of range [0, {self._num_nodes})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._num_nodes == other._num_nodes and np.array_equal(
+            self._codes, other._codes
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._num_nodes, self._codes.tobytes()))
+
+    def __repr__(self) -> str:
+        return f"Graph(num_nodes={self._num_nodes}, num_edges={self.num_edges})"

@@ -1,0 +1,59 @@
+"""Edge-list I/O in the whitespace-separated SNAP format.
+
+If a user of this library has the real SNAP datasets on disk, they can load
+them with :func:`read_edge_list` and run every experiment on the genuine
+graphs instead of the surrogates.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+from repro.graph.adjacency import Graph
+
+PathLike = Union[str, os.PathLike]
+
+
+def read_edge_list(path: PathLike, num_nodes: int | None = None) -> Graph:
+    """Read a whitespace-separated edge list (``u v`` per line).
+
+    Lines starting with ``#`` are comments.  Node ids may be arbitrary
+    non-negative integers; they are compacted to ``0..n-1`` preserving order
+    of first appearance unless ``num_nodes`` is given, in which case ids are
+    taken literally and must be < ``num_nodes``.
+    """
+    raw_edges: list[tuple[int, int]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            parts = stripped.split()
+            if len(parts) < 2:
+                raise ValueError(f"{path}:{line_number}: expected 'u v', got {stripped!r}")
+            u, v = int(parts[0]), int(parts[1])
+            if u == v:
+                continue
+            raw_edges.append((u, v))
+
+    if num_nodes is not None:
+        return Graph(num_nodes, raw_edges)
+
+    # Compact labels in order of first appearance.
+    mapping: dict[int, int] = {}
+    for u, v in raw_edges:
+        if u not in mapping:
+            mapping[u] = len(mapping)
+        if v not in mapping:
+            mapping[v] = len(mapping)
+    edges = [(mapping[u], mapping[v]) for u, v in raw_edges]
+    return Graph(len(mapping), edges)
+
+
+def write_edge_list(graph: Graph, path: PathLike) -> None:
+    """Write the graph as a whitespace-separated edge list with a header."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# nodes={graph.num_nodes} edges={graph.num_edges}\n")
+        for u, v in graph.edges():
+            handle.write(f"{u} {v}\n")

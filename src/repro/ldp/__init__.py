@@ -1,0 +1,33 @@
+"""LDP substrate: mechanisms, sparse RR simulation, frequency oracles, budget."""
+
+from repro.ldp.budget import BudgetAllocation, split_budget
+from repro.ldp.frequency_oracles import KRR, OLH, OUE, FrequencyOracle
+from repro.ldp.mechanisms import (
+    calibrate_bit_counts,
+    laplace_noise,
+    perturb_bits,
+    perturb_degree,
+    rr_keep_probability,
+)
+from repro.ldp.perturbation import (
+    expected_perturbed_average_degree,
+    expected_perturbed_degree,
+    perturb_graph,
+)
+
+__all__ = [
+    "BudgetAllocation",
+    "split_budget",
+    "KRR",
+    "OLH",
+    "OUE",
+    "FrequencyOracle",
+    "calibrate_bit_counts",
+    "laplace_noise",
+    "perturb_bits",
+    "perturb_degree",
+    "rr_keep_probability",
+    "expected_perturbed_average_degree",
+    "expected_perturbed_degree",
+    "perturb_graph",
+]

@@ -1,0 +1,211 @@
+"""Frequency oracles kRR, OUE and OLH.
+
+These are the state-of-the-art LDP protocols for frequency estimation (Wang
+et al., USENIX Security 2017) that Cao et al.'s poisoning attacks — which the
+paper's graph attacks generalise — were designed against.  They serve two
+roles in this repository: (i) substrate validation, because our graph MGA is
+"MGA adapted for graphs", and (ii) a complete implementation of the related
+attack family (``repro.core.frequency_attacks``).
+
+All three oracles share one interface:
+
+* ``perturb(values, rng)`` — client side; returns an array of *reports*.
+* ``support_counts(reports)`` — server side; for each item, the number of
+  reports that support it.
+* ``estimate_frequencies(reports)`` — unbiased frequency estimates via the
+  standard ``(count/n - q) / (p - q)`` calibration.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive
+
+#: A large prime for the OLH affine hash family (fits comfortably in int64).
+_OLH_PRIME = 2_147_483_647
+
+
+class FrequencyOracle(abc.ABC):
+    """Common interface of the three frequency oracles.
+
+    Parameters
+    ----------
+    domain_size:
+        Number of items; values are integers in ``[0, domain_size)``.
+    epsilon:
+        Privacy budget.
+    """
+
+    def __init__(self, domain_size: int, epsilon: float):
+        check_positive(domain_size, "domain_size")
+        check_positive(epsilon, "epsilon")
+        if domain_size < 2:
+            raise ValueError(f"domain_size must be at least 2, got {domain_size}")
+        self.domain_size = int(domain_size)
+        self.epsilon = float(epsilon)
+
+    # -- client side ----------------------------------------------------
+    @abc.abstractmethod
+    def perturb(self, values: np.ndarray, rng: RngLike = None) -> np.ndarray:
+        """Perturb one value per user; returns the reports array."""
+
+    # -- server side ----------------------------------------------------
+    @abc.abstractmethod
+    def support_counts(self, reports: np.ndarray) -> np.ndarray:
+        """For each item, the number of reports supporting it."""
+
+    @property
+    @abc.abstractmethod
+    def support_probability_true(self) -> float:
+        """P[report supports item | user holds item] (``p`` in the literature)."""
+
+    @property
+    @abc.abstractmethod
+    def support_probability_false(self) -> float:
+        """P[report supports item | user does not hold it] (``q``)."""
+
+    def estimate_frequencies(self, reports: np.ndarray) -> np.ndarray:
+        """Unbiased per-item frequency estimates from the reports."""
+        num_users = self._num_reports(reports)
+        if num_users == 0:
+            raise ValueError("cannot estimate frequencies from zero reports")
+        p = self.support_probability_true
+        q = self.support_probability_false
+        counts = self.support_counts(reports).astype(np.float64)
+        return (counts / num_users - q) / (p - q)
+
+    def _num_reports(self, reports: np.ndarray) -> int:
+        return int(np.asarray(reports).shape[0])
+
+    def _check_values(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.int64)
+        if values.ndim != 1:
+            raise ValueError("values must be a 1-D array of item ids")
+        if values.size and (values.min() < 0 or values.max() >= self.domain_size):
+            raise ValueError("value out of domain range")
+        return values
+
+
+class KRR(FrequencyOracle):
+    """k-ary randomized response (a.k.a. generalized RR / direct encoding).
+
+    Reports the true value with probability ``p = e^eps / (e^eps + d - 1)``
+    and any specific other value with probability ``q = 1 / (e^eps + d - 1)``.
+    Reports are plain item ids.
+    """
+
+    @property
+    def support_probability_true(self) -> float:
+        exp = math.exp(self.epsilon)
+        return exp / (exp + self.domain_size - 1)
+
+    @property
+    def support_probability_false(self) -> float:
+        exp = math.exp(self.epsilon)
+        return 1.0 / (exp + self.domain_size - 1)
+
+    def perturb(self, values: np.ndarray, rng: RngLike = None) -> np.ndarray:
+        values = self._check_values(values)
+        generator = ensure_rng(rng)
+        keep = generator.random(values.size) < self.support_probability_true
+        # Draw a uniform *other* value by sampling [0, d-1) and skipping self.
+        others = generator.integers(0, self.domain_size - 1, size=values.size)
+        others = np.where(others >= values, others + 1, others)
+        return np.where(keep, values, others).astype(np.int64)
+
+    def support_counts(self, reports: np.ndarray) -> np.ndarray:
+        reports = self._check_values(np.asarray(reports, dtype=np.int64))
+        return np.bincount(reports, minlength=self.domain_size)
+
+
+class OUE(FrequencyOracle):
+    """Optimized unary encoding.
+
+    The value is one-hot encoded; 1-bits are kept with probability 1/2 and
+    0-bits flipped to 1 with probability ``q = 1 / (e^eps + 1)``.  Reports are
+    ``(num_users, domain_size)`` 0/1 matrices.
+    """
+
+    @property
+    def support_probability_true(self) -> float:
+        return 0.5
+
+    @property
+    def support_probability_false(self) -> float:
+        return 1.0 / (math.exp(self.epsilon) + 1.0)
+
+    def perturb(self, values: np.ndarray, rng: RngLike = None) -> np.ndarray:
+        values = self._check_values(values)
+        generator = ensure_rng(rng)
+        num_users = values.size
+        draws = generator.random((num_users, self.domain_size))
+        reports = (draws < self.support_probability_false).astype(np.uint8)
+        held = draws[np.arange(num_users), values] < self.support_probability_true
+        reports[np.arange(num_users), values] = held.astype(np.uint8)
+        return reports
+
+    def support_counts(self, reports: np.ndarray) -> np.ndarray:
+        reports = np.asarray(reports)
+        if reports.ndim != 2 or reports.shape[1] != self.domain_size:
+            raise ValueError("OUE reports must be (num_users, domain_size) matrices")
+        return reports.sum(axis=0).astype(np.int64)
+
+
+class OLH(FrequencyOracle):
+    """Optimized local hashing.
+
+    Each user draws a hash function from an affine family mapping items to
+    ``g = round(e^eps) + 1`` buckets, then reports ``kRR(hash(value))`` over
+    the bucket domain together with the hash seed.  Reports are
+    ``(num_users, 3)`` int64 arrays of ``(a, b, y)``: hash coefficients and
+    the perturbed bucket.
+    """
+
+    def __init__(self, domain_size: int, epsilon: float):
+        super().__init__(domain_size, epsilon)
+        self.num_buckets = int(round(math.exp(epsilon))) + 1
+
+    @property
+    def support_probability_true(self) -> float:
+        exp = math.exp(self.epsilon)
+        return exp / (exp + self.num_buckets - 1)
+
+    @property
+    def support_probability_false(self) -> float:
+        return 1.0 / self.num_buckets
+
+    def hash_items(self, a: np.ndarray, b: np.ndarray, items: np.ndarray) -> np.ndarray:
+        """Affine hash ``((a * item + b) mod P) mod g``, vectorised.
+
+        ``a``/``b`` may be scalars or arrays broadcastable against ``items``.
+        """
+        return ((a * items + b) % _OLH_PRIME) % self.num_buckets
+
+    def perturb(self, values: np.ndarray, rng: RngLike = None) -> np.ndarray:
+        values = self._check_values(values)
+        generator = ensure_rng(rng)
+        num_users = values.size
+        a = generator.integers(1, _OLH_PRIME, size=num_users, dtype=np.int64)
+        b = generator.integers(0, _OLH_PRIME, size=num_users, dtype=np.int64)
+        buckets = self.hash_items(a, b, values)
+        keep = generator.random(num_users) < self.support_probability_true
+        others = generator.integers(0, self.num_buckets - 1, size=num_users)
+        others = np.where(others >= buckets, others + 1, others)
+        reported = np.where(keep, buckets, others)
+        return np.stack([a, b, reported], axis=1).astype(np.int64)
+
+    def support_counts(self, reports: np.ndarray) -> np.ndarray:
+        reports = np.asarray(reports, dtype=np.int64)
+        if reports.ndim != 2 or reports.shape[1] != 3:
+            raise ValueError("OLH reports must be (num_users, 3) arrays of (a, b, y)")
+        a = reports[:, 0:1]
+        b = reports[:, 1:2]
+        reported = reports[:, 2:3]
+        items = np.arange(self.domain_size, dtype=np.int64)[None, :]
+        supports = self.hash_items(a, b, items) == reported
+        return supports.sum(axis=0).astype(np.int64)

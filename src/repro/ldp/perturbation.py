@@ -1,0 +1,82 @@
+"""Sparse simulation of randomized response over whole graphs.
+
+Applying bitwise randomized response to every adjacency bit vector of an
+N-node graph touches N·(N-1) bits — prohibitive beyond a few thousand nodes.
+This module produces a perturbed graph with *exactly the same distribution*
+at O(E + #flipped-non-edges) cost:
+
+* each existing edge survives independently with probability ``p``;
+* the number of non-edges flipped to edges is ``Binomial(#non-edges, 1-p)``,
+  and the flipped pairs are sampled uniformly among non-edges.
+
+Following the paper's estimator model (Eq. 16 and the Fig. 4 case analysis,
+which assume a single retention probability ``p`` per undirected edge), the
+perturbation is applied once per *unordered pair*; see DESIGN.md §2 for why
+this symmetric interpretation is the one consistent with the paper's
+calibration formulas.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.adjacency import Graph
+from repro.ldp.mechanisms import rr_keep_probability
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.sparse import pair_count, sample_pairs_excluding
+from repro.utils.validation import check_non_negative
+
+
+def perturb_graph(graph: Graph, epsilon: float, rng: RngLike = None) -> Graph:
+    """Randomized response over the whole graph, sparsely simulated.
+
+    Returns a new :class:`Graph` drawn from the same distribution as flipping
+    every upper-triangle adjacency bit independently with probability
+    ``1 - p`` where ``p = e^eps / (1 + e^eps)``.
+    """
+    generator = ensure_rng(rng)
+    keep = rr_keep_probability(epsilon)
+    n = graph.num_nodes
+
+    codes = graph.edge_codes
+    survivors = codes[generator.random(codes.size) < keep]
+
+    non_edges = pair_count(n) - codes.size
+    flip_count = int(generator.binomial(non_edges, 1.0 - keep)) if non_edges > 0 else 0
+    flipped = sample_pairs_excluding(n, flip_count, codes, generator)
+
+    return Graph.from_codes(n, np.concatenate([survivors, flipped]))
+
+
+def expected_perturbed_degree(degree: float, num_nodes: int, epsilon: float) -> float:
+    """Expected degree of a node after randomized response.
+
+    ``E[d~] = d p + (N - 1 - d)(1 - p)``: surviving true edges plus flipped
+    non-edges.  This is the quantity the attacker computes from public
+    protocol parameters to size its connection budget.
+    """
+    check_non_negative(degree, "degree")
+    keep = rr_keep_probability(epsilon)
+    return degree * keep + (num_nodes - 1 - degree) * (1.0 - keep)
+
+
+def expected_perturbed_average_degree(graph: Graph, epsilon: float) -> float:
+    """Expected *average* degree of the perturbed graph.
+
+    The paper's attacks cap each fake node's crafted connection count at this
+    value (``d~`` in Theorems 1 and 2) so that fake reports blend in with the
+    degree distribution genuine perturbed reports exhibit.
+    """
+    if graph.num_nodes == 0:
+        return 0.0
+    average = graph.degrees().mean()
+    return expected_perturbed_degree(float(average), graph.num_nodes, epsilon)
+
+
+def attacker_connection_budget(graph: Graph, epsilon: float) -> int:
+    """Number of crafted connections a fake node may claim without standing out.
+
+    ``floor`` of :func:`expected_perturbed_average_degree`, but at least 1 so
+    every attack can act even at extreme privacy settings.
+    """
+    return max(1, int(expected_perturbed_average_degree(graph, epsilon)))

@@ -1,0 +1,199 @@
+"""Protocol-facing interfaces shared by LF-GDPR and LDPGen.
+
+A *protocol* collects two atomic metrics from every user — the adjacency bit
+vector and the degree — and estimates graph metrics server-side.  An *attack*
+replaces the reports of the users it controls with :class:`FakeReport`
+objects; the protocol treats those as the submitted (already perturbed)
+values, exactly as the paper's threat model prescribes (fake users "can send
+arbitrary data to the central server").
+
+Common-random-numbers evaluation: ``collect`` derives all genuine-user noise
+from named child streams of the supplied seed, so calling it twice with the
+same seed — once without overrides, once with them — changes *only* what the
+attacker changed.  That pairing is what ``repro.core.gain`` relies on.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+import numpy as np
+
+from repro.graph.adjacency import Graph
+from repro.utils.rng import RngLike
+
+
+@dataclass(frozen=True)
+class FakeReport:
+    """The crafted submission of one fake user.
+
+    Two crafting modes cover all the paper's attacks:
+
+    * **replace** (``augment=False``, the default): the user's entire report
+      is attacker-crafted — ``claimed_neighbors`` becomes its bit vector
+      verbatim and ``reported_degree`` its degree value.  RVA and MGA work
+      this way.
+    * **augment** (``augment=True``): the user runs the *honest* protocol on
+      its organic data (keeping the same perturbation noise as in the
+      unattacked world) and the attacker merely injects extra claimed edges
+      on top, shifting the degree report by ``degree_delta``.  This models
+      RNA, which adds one edge to the local data and lets the LDP client
+      perturb as usual — under common random numbers the only difference
+      from the honest run is the crafted edge.  Any pre-perturbation of the
+      extra edges (RNA flips them with the RR probabilities) is the
+      attack's job before building the report.
+
+    Attributes
+    ----------
+    claimed_neighbors:
+        Replace mode: the full claimed bit vector.  Augment mode: extra
+        edges added on top of the honest report.
+    reported_degree:
+        Replace mode: the degree value sent.  Ignored in augment mode.
+    augment:
+        Selects the mode.
+    degree_delta:
+        Augment mode: shift applied to the honest noisy degree report.
+    """
+
+    claimed_neighbors: np.ndarray
+    reported_degree: float
+    augment: bool = False
+    degree_delta: float = 0.0
+
+    def __post_init__(self):
+        neighbors = np.unique(np.asarray(self.claimed_neighbors, dtype=np.int64))
+        object.__setattr__(self, "claimed_neighbors", neighbors)
+
+
+#: Mapping from fake-node id to its crafted report.
+Overrides = Mapping[int, FakeReport]
+
+
+@dataclass
+class CollectedReports:
+    """Server-side view after one collection round.
+
+    Attributes
+    ----------
+    perturbed_graph:
+        The adjacency information the server holds: randomized-response
+        output for pairs between non-overridden users, attacker-claimed bits
+        for pairs involving overridden users.
+    reported_degrees:
+        Per-node degree reports (Laplace-perturbed for genuine users,
+        attacker-chosen for fake users).
+    adjacency_epsilon / degree_epsilon:
+        The sub-budgets the reports were produced under.
+    overridden:
+        Ids of users whose reports were replaced by the attacker.  Stored for
+        bookkeeping and for defense experiments; estimators never look at it
+        (the server cannot distinguish fake users a priori).
+    excluded:
+        Ids of users a *defense* removed from the collection (their pairs are
+        gone from ``perturbed_graph``).  Unlike ``overridden`` this is
+        server-side knowledge: estimators must shrink the per-row bit count
+        from ``N - 1`` to ``N - 1 - |excluded|`` and extrapolate, otherwise
+        every removal shifts all degree estimates downward.
+    """
+
+    perturbed_graph: Graph
+    reported_degrees: np.ndarray
+    adjacency_epsilon: float
+    degree_epsilon: float
+    overridden: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    excluded: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+
+    def __post_init__(self):
+        degrees = np.asarray(self.reported_degrees, dtype=np.float64)
+        if degrees.shape != (self.perturbed_graph.num_nodes,):
+            raise ValueError(
+                f"reported_degrees has shape {degrees.shape}, expected "
+                f"({self.perturbed_graph.num_nodes},) — one report per user"
+            )
+        self.reported_degrees = degrees
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of participating users N."""
+        return self.perturbed_graph.num_nodes
+
+
+class GraphLDPProtocol(abc.ABC):
+    """Interface of an LDP graph-collection protocol."""
+
+    @abc.abstractmethod
+    def collect(
+        self, graph: Graph, rng: RngLike, overrides: Overrides | None = None
+    ) -> CollectedReports:
+        """Run one collection round and return the server-side reports."""
+
+    @abc.abstractmethod
+    def estimate_degree_centrality(self, reports: CollectedReports) -> np.ndarray:
+        """Per-node degree-centrality estimates (Eq. 8 on estimated degrees)."""
+
+    @abc.abstractmethod
+    def estimate_clustering_coefficient(self, reports: CollectedReports) -> np.ndarray:
+        """Per-node clustering-coefficient estimates (Eqs. 15–17)."""
+
+    @abc.abstractmethod
+    def estimate_modularity(self, reports: CollectedReports, labels: np.ndarray) -> float:
+        """Modularity estimate for a given community labelling."""
+
+
+def apply_overrides(
+    perturbed: Graph, overrides: Overrides | None
+) -> tuple[Graph, np.ndarray]:
+    """Replace overridden users' adjacency pairs with their claimed edges.
+
+    Replace-mode reports control every pair incident to their user: the
+    randomized-response bits for those pairs are dropped and the claimed
+    edges inserted.  Augment-mode reports keep the user's RR pairs and only
+    add the extra claimed edges.  Pairs between two non-overridden users
+    always keep their RR bits, which preserves common random numbers across
+    paired runs.
+
+    Returns the resulting graph and the sorted array of overridden ids.
+    """
+    if not overrides:
+        return perturbed, np.empty(0, dtype=np.int64)
+
+    overridden = np.sort(np.fromiter(overrides.keys(), dtype=np.int64))
+    n = perturbed.num_nodes
+    if overridden[0] < 0 or overridden[-1] >= n:
+        raise ValueError("override node id out of range")
+
+    replaced = np.array(
+        [node for node, report in overrides.items() if not report.augment], dtype=np.int64
+    )
+    flags = np.zeros(n, dtype=bool)
+    flags[replaced] = True
+    rows, cols = perturbed.edge_arrays()
+    keep = ~(flags[rows] | flags[cols])
+    stripped = Graph(n, zip(rows[keep].tolist(), cols[keep].tolist()))
+
+    crafted: list[tuple[int, int]] = []
+    for node, report in overrides.items():
+        for neighbor in report.claimed_neighbors.tolist():
+            if neighbor == node:
+                raise ValueError(f"fake user {node} claims a self-loop")
+            if not 0 <= neighbor < n:
+                raise ValueError(f"fake user {node} claims out-of-range neighbor {neighbor}")
+            crafted.append((node, neighbor))
+    return stripped.with_edges(crafted), overridden
+
+
+def apply_degree_overrides(
+    noisy_degrees: np.ndarray, overrides: Overrides | None
+) -> np.ndarray:
+    """Apply crafted degree reports (replace) or shifts (augment)."""
+    result = np.array(noisy_degrees, dtype=np.float64, copy=True)
+    if overrides:
+        for node, report in overrides.items():
+            if report.augment:
+                result[node] += float(report.degree_delta)
+            else:
+                result[node] = float(report.reported_degree)
+    return result

@@ -1,0 +1,194 @@
+"""The LF-GDPR collection protocol (Ye et al., TKDE 2020).
+
+LF-GDPR is the protocol the paper mounts its attacks on.  One collection
+round proceeds in four steps:
+
+1. *metric reduction* — the target metric is expressed over the adjacency
+   matrix ``M`` and degree vector ``D`` (done by the estimator methods here);
+2. *budget allocation* — ``eps`` is split into ``eps1`` (adjacency) and
+   ``eps2`` (degree);
+3. *local perturbation* — every user perturbs its adjacency bit vector with
+   randomized response and its degree with the Laplace mechanism;
+4. *calibrated aggregation* — the server estimates the metric, correcting the
+   perturbation bias (``repro.protocols.estimators``).
+
+Attack integration: fake users' reports are *overrides* — their adjacency
+claims and degree values are taken verbatim, exactly matching the paper's
+threat model.  Genuine-user noise derives from named child streams of the
+``collect`` seed, so paired runs (same seed, with/without overrides) differ
+only by the attacker's action.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.adjacency import Graph
+from repro.ldp.budget import BudgetAllocation, split_budget
+from repro.ldp.mechanisms import perturb_degree
+from repro.ldp.perturbation import perturb_graph
+from repro.protocols.base import (
+    CollectedReports,
+    GraphLDPProtocol,
+    Overrides,
+    apply_degree_overrides,
+    apply_overrides,
+)
+from repro.protocols.estimators import (
+    degrees_from_perturbed_graph,
+    estimate_clustering_coefficients,
+    estimate_modularity,
+    fuse_degree_estimates,
+)
+from repro.utils.rng import RngLike, child_rng
+from repro.utils.validation import check_positive
+
+
+class LFGDPRProtocol(GraphLDPProtocol):
+    """LF-GDPR with an explicit budget split and pluggable degree fusion.
+
+    Parameters
+    ----------
+    epsilon:
+        Total privacy budget ``eps = eps1 + eps2``.
+    adjacency_fraction:
+        Fraction of ``epsilon`` spent on the adjacency bit vector.
+    degree_mode:
+        Where degree estimates come from:
+
+        * ``"bits"`` (default) — calibrated row counts of the collected
+          adjacency matrix.  This is the estimator the paper's attack model
+          implies: fake users influence a target's degree only through the
+          bits they claim, and all three degree-centrality attacks in §V act
+          through this channel.
+        * ``"reported"`` — the Laplace self-report only.  An ablation that
+          is immune to bit poisoning (but trivially attackable by the fake
+          users' own reports and blind to report/bit inconsistencies).
+        * ``"fused"`` — inverse-variance combination of both.  The
+          minimum-variance honest-world estimator; because the self-report
+          variance does not grow with N, it almost ignores the bit channel
+          and therefore largely resists the paper's attacks — an ablation
+          discussed in DESIGN.md §6.
+    clustering_degree_plugin:
+        Degree plug-in for the clustering estimator: ``"perturbed"``
+        (paper-faithful Eq. 15/16 default) or ``"calibrated"`` (lower-bias
+        ablation).  See ``estimate_clustering_coefficients``.
+    clip_clustering:
+        Clamp clustering estimates to [0, 1].  Off by default: the paper's
+        gain analysis (Eq. 22) works with the raw calibrated values, and
+        clamping saturates at low epsilon where the raw estimates leave the
+        unit interval, hiding attack effects entirely.
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        adjacency_fraction: float = 0.5,
+        degree_mode: str = "bits",
+        clustering_degree_plugin: str = "perturbed",
+        clip_clustering: bool = False,
+    ):
+        check_positive(epsilon, "epsilon")
+        if degree_mode not in ("bits", "reported", "fused"):
+            raise ValueError(
+                f"degree_mode must be 'bits', 'reported' or 'fused', got {degree_mode!r}"
+            )
+        self.budget: BudgetAllocation = split_budget(epsilon, adjacency_fraction)
+        self.degree_mode = degree_mode
+        self.clustering_degree_plugin = clustering_degree_plugin
+        self.clip_clustering = bool(clip_clustering)
+
+    @property
+    def epsilon(self) -> float:
+        """Total privacy budget."""
+        return self.budget.total
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+    def collect(
+        self, graph: Graph, rng: RngLike, overrides: Overrides | None = None
+    ) -> CollectedReports:
+        """One collection round; see the module docstring for semantics."""
+        perturbed = perturb_graph(
+            graph, self.budget.adjacency_epsilon, rng=child_rng(rng, "lfgdpr-adjacency")
+        )
+        noisy_degrees = perturb_degree(
+            graph.degrees(),
+            self.budget.degree_epsilon,
+            rng=child_rng(rng, "lfgdpr-degree"),
+        )
+        perturbed, overridden = apply_overrides(perturbed, overrides)
+        reported = apply_degree_overrides(noisy_degrees, overrides)
+        return CollectedReports(
+            perturbed_graph=perturbed,
+            reported_degrees=reported,
+            adjacency_epsilon=self.budget.adjacency_epsilon,
+            degree_epsilon=self.budget.degree_epsilon,
+            overridden=overridden,
+        )
+
+    # ------------------------------------------------------------------
+    # Estimation
+    # ------------------------------------------------------------------
+    def estimate_degrees(self, reports: CollectedReports) -> np.ndarray:
+        """Per-node degree estimates under the configured ``degree_mode``."""
+        if self.degree_mode == "reported":
+            return np.asarray(reports.reported_degrees, dtype=np.float64)
+        from_bits = degrees_from_perturbed_graph(
+            reports.perturbed_graph, reports.adjacency_epsilon, excluded=reports.excluded
+        )
+        if self.degree_mode == "bits":
+            return from_bits
+        return fuse_degree_estimates(
+            reports.reported_degrees,
+            from_bits,
+            reports.num_nodes,
+            reports.adjacency_epsilon,
+            reports.degree_epsilon,
+        )
+
+    def estimate_degree_centrality(self, reports: CollectedReports) -> np.ndarray:
+        """Normalized degree centrality ``d_hat / (N - 1)`` per node."""
+        n = reports.num_nodes
+        if n <= 1:
+            return np.zeros(n, dtype=np.float64)
+        return self.estimate_degrees(reports) / (n - 1)
+
+    def estimate_clustering_coefficient(self, reports: CollectedReports) -> np.ndarray:
+        """Clustering-coefficient estimates via the triangle calibration.
+
+        When a defense excluded users, estimation runs on the induced
+        subgraph of the remaining users (with its own N and edge density) —
+        treating removed rows as all-zero bits of the full graph would bias
+        every correction term of Eq. 16.  Excluded users estimate to 0.
+        """
+        excluded = np.asarray(reports.excluded, dtype=np.int64)
+        if excluded.size == 0:
+            return estimate_clustering_coefficients(
+                reports.perturbed_graph,
+                reports.adjacency_epsilon,
+                clip=self.clip_clustering,
+                degree_plugin=self.clustering_degree_plugin,
+            )
+        n = reports.num_nodes
+        kept = np.setdiff1d(np.arange(n), excluded)
+        subgraph = reports.perturbed_graph.subgraph(kept)
+        sub_estimates = estimate_clustering_coefficients(
+            subgraph,
+            reports.adjacency_epsilon,
+            clip=self.clip_clustering,
+            degree_plugin=self.clustering_degree_plugin,
+        )
+        estimates = np.zeros(n, dtype=np.float64)
+        estimates[kept] = sub_estimates
+        return estimates
+
+    def estimate_modularity(self, reports: CollectedReports, labels: np.ndarray) -> float:
+        """Modularity estimate for a server-held community labelling."""
+        return estimate_modularity(
+            reports.perturbed_graph,
+            labels,
+            reports.adjacency_epsilon,
+            self.estimate_degrees(reports),
+        )

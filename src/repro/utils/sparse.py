@@ -1,0 +1,112 @@
+"""Sparse pair-sampling helpers.
+
+The randomized-response simulator (``repro.ldp.perturbation``) needs to draw
+uniform random *non-edges* of a graph without materialising the dense N×N
+adjacency matrix.  The helpers here encode unordered node pairs as integers,
+sample uniform pairs, and reject duplicates/self-loops efficiently.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_non_negative
+
+
+def pair_count(n: int) -> int:
+    """Number of unordered node pairs among ``n`` nodes, i.e. C(n, 2)."""
+    check_non_negative(n, "n")
+    return n * (n - 1) // 2
+
+
+def encode_pairs(rows: np.ndarray, cols: np.ndarray, n: int) -> np.ndarray:
+    """Encode unordered pairs (i, j), i < j, as unique int64 codes.
+
+    The code of a pair is its rank in the row-major upper-triangle ordering:
+    ``code(i, j) = i*n - i*(i+1)//2 + (j - i - 1)``.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    if rows.shape != cols.shape:
+        raise ValueError("rows and cols must have the same shape")
+    lo = np.minimum(rows, cols)
+    hi = np.maximum(rows, cols)
+    if lo.size and (lo.min() < 0 or hi.max() >= n):
+        raise ValueError("node index out of range")
+    if np.any(lo == hi):
+        raise ValueError("self-loops cannot be encoded as pairs")
+    return lo * n - lo * (lo + 1) // 2 + (hi - lo - 1)
+
+
+def decode_pairs(codes: np.ndarray, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Invert :func:`encode_pairs`: codes back to (i, j) with i < j.
+
+    Solves ``i`` from the quadratic rank formula, vectorised.
+    """
+    codes = np.asarray(codes, dtype=np.int64)
+    if codes.size and (codes.min() < 0 or codes.max() >= pair_count(n)):
+        raise ValueError("pair code out of range")
+    # Rank of the first pair in row i is r(i) = i*n - i*(i+1)/2.  Invert with
+    # the quadratic formula, then fix off-by-one from float rounding.
+    i = np.floor((2 * n - 1 - np.sqrt((2 * n - 1) ** 2 - 8 * codes.astype(np.float64))) / 2)
+    i = i.astype(np.int64)
+    # Guard against rounding in either direction.
+    for _ in range(2):
+        row_start = i * n - i * (i + 1) // 2
+        i = np.where(row_start > codes, i - 1, i)
+        row_start = i * n - i * (i + 1) // 2
+        next_start = (i + 1) * n - (i + 1) * (i + 2) // 2
+        i = np.where(codes >= next_start, i + 1, i)
+    row_start = i * n - i * (i + 1) // 2
+    j = codes - row_start + i + 1
+    return i, j
+
+
+def sample_pairs_excluding(
+    n: int,
+    count: int,
+    forbidden_codes: np.ndarray,
+    rng: np.random.Generator,
+    max_rounds: int = 64,
+) -> np.ndarray:
+    """Sample ``count`` distinct unordered-pair codes uniformly, avoiding a set.
+
+    ``forbidden_codes`` must be a sorted int64 array (typically the codes of
+    the existing edges).  Sampling is rejection-based: draw a batch, drop
+    forbidden and duplicate codes, repeat.  With forbidden density far below 1
+    (always true for sparse graphs) this converges in one or two rounds.
+    """
+    total = pair_count(n)
+    available = total - forbidden_codes.size
+    if count > available:
+        raise ValueError(
+            f"cannot sample {count} pairs: only {available} non-forbidden pairs exist"
+        )
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+
+    chosen: list[np.ndarray] = []
+    seen = forbidden_codes
+    remaining = count
+    for _ in range(max_rounds):
+        # Oversample to absorb rejections; the 1.1 factor plus a small floor
+        # keeps expected round count at ~1 for sparse forbidden sets.
+        batch = max(int(remaining * 1.1) + 16, remaining)
+        draws = rng.integers(0, total, size=batch, dtype=np.int64)
+        draws = np.unique(draws)
+        if seen.size:
+            positions = np.searchsorted(seen, draws)
+            positions = np.minimum(positions, seen.size - 1)
+            draws = draws[seen[positions] != draws]
+        if draws.size > remaining:
+            draws = rng.choice(draws, size=remaining, replace=False)
+        if draws.size:
+            chosen.append(draws)
+            seen = np.sort(np.concatenate([seen, draws]))
+            remaining -= draws.size
+        if remaining == 0:
+            return np.concatenate(chosen)
+    raise RuntimeError(
+        f"pair sampling failed to converge after {max_rounds} rounds "
+        f"({remaining}/{count} still missing)"
+    )

@@ -1,0 +1,66 @@
+"""Argument validation helpers.
+
+These keep the public API strict and the error messages uniform.  Every check
+raises early with the offending name and value, following the
+"return/raise as early as the incorrect context has been detected" idiom.
+"""
+
+from __future__ import annotations
+
+from numbers import Real
+from typing import Any, Tuple, Type, Union
+
+
+def check_type(value: Any, types: Union[Type, Tuple[Type, ...]], name: str) -> Any:
+    """Raise :class:`TypeError` unless ``value`` is an instance of ``types``."""
+    if not isinstance(value, types):
+        if isinstance(types, tuple):
+            expected = " or ".join(t.__name__ for t in types)
+        else:
+            expected = types.__name__
+        raise TypeError(f"{name} must be {expected}, got {type(value).__name__}")
+    return value
+
+
+def check_positive(value: Real, name: str) -> Real:
+    """Raise :class:`ValueError` unless ``value`` > 0."""
+    check_type(value, Real, name)
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_non_negative(value: Real, name: str) -> Real:
+    """Raise :class:`ValueError` unless ``value`` >= 0."""
+    check_type(value, Real, name)
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def check_probability(value: Real, name: str) -> Real:
+    """Raise :class:`ValueError` unless ``value`` is in [0, 1]."""
+    check_type(value, Real, name)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value}")
+    return value
+
+
+def check_fraction(value: Real, name: str) -> Real:
+    """Raise :class:`ValueError` unless ``value`` is in (0, 1).
+
+    Used for the fake-user fraction ``beta`` and target fraction ``gamma``;
+    a fraction of exactly 0 or 1 makes the threat model degenerate.
+    """
+    check_type(value, Real, name)
+    if not 0.0 < value < 1.0:
+        raise ValueError(f"{name} must lie strictly between 0 and 1, got {value}")
+    return value
+
+
+def check_in_range(value: Real, low: Real, high: Real, name: str) -> Real:
+    """Raise :class:`ValueError` unless ``low <= value <= high``."""
+    check_type(value, Real, name)
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+    return value

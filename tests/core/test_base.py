@@ -1,0 +1,80 @@
+"""Tests for attack-crafting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import random_new_neighbors, rr_perturb_neighbor_set
+from repro.ldp.mechanisms import rr_keep_probability
+
+
+class TestRandomNewNeighbors:
+    def test_excludes_self_and_existing(self):
+        rng = np.random.default_rng(0)
+        existing = np.array([1, 2, 3])
+        for _ in range(20):
+            new = random_new_neighbors(0, existing, 4, 10, rng)
+            assert 0 not in new
+            assert np.intersect1d(new, existing).size == 0
+
+    def test_count(self):
+        rng = np.random.default_rng(1)
+        new = random_new_neighbors(0, np.array([1]), 5, 100, rng)
+        assert new.size == 5
+        assert np.unique(new).size == 5
+
+    def test_sorted(self):
+        rng = np.random.default_rng(2)
+        new = random_new_neighbors(0, np.empty(0, dtype=np.int64), 10, 50, rng)
+        assert np.all(np.diff(new) > 0)
+
+    def test_saturation(self):
+        rng = np.random.default_rng(3)
+        new = random_new_neighbors(0, np.array([1, 2]), 100, 5, rng)
+        assert sorted(new.tolist()) == [3, 4]
+
+    def test_zero_count(self):
+        rng = np.random.default_rng(4)
+        assert random_new_neighbors(0, np.array([1]), 0, 10, rng).size == 0
+
+
+class TestRRPerturbNeighborSet:
+    def test_output_excludes_self(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            out = rr_perturb_neighbor_set(3, np.array([0, 1]), 20, 1.0, rng)
+            assert 3 not in out
+
+    def test_high_epsilon_identity(self):
+        rng = np.random.default_rng(1)
+        neighbors = np.array([2, 5, 9])
+        out = rr_perturb_neighbor_set(0, neighbors, 200, 40.0, rng)
+        assert np.array_equal(out, neighbors)
+
+    def test_survival_rate(self):
+        epsilon = 1.5
+        keep = rr_keep_probability(epsilon)
+        rng = np.random.default_rng(2)
+        neighbors = np.arange(1, 201)
+        rates = []
+        for _ in range(30):
+            out = rr_perturb_neighbor_set(0, neighbors, 10_000, epsilon, rng)
+            rates.append(np.intersect1d(out, neighbors).size / neighbors.size)
+        assert np.mean(rates) == pytest.approx(keep, rel=0.03)
+
+    def test_flip_rate(self):
+        epsilon = 2.0
+        keep = rr_keep_probability(epsilon)
+        rng = np.random.default_rng(3)
+        neighbors = np.array([1])
+        n = 2_000
+        new_counts = []
+        for _ in range(20):
+            out = rr_perturb_neighbor_set(0, neighbors, n, epsilon, rng)
+            new_counts.append(np.setdiff1d(out, neighbors).size)
+        expected = (n - 2) * (1 - keep)
+        assert np.mean(new_counts) == pytest.approx(expected, rel=0.1)
+
+    def test_deduplicates_input(self):
+        rng = np.random.default_rng(4)
+        out = rr_perturb_neighbor_set(0, np.array([1, 1, 2]), 10, 40.0, rng)
+        assert out.tolist() == [1, 2]

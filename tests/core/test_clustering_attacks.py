@@ -1,0 +1,152 @@
+"""Tests for the clustering-coefficient attacks."""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering_attacks import ClusteringMGA, ClusteringRNA, ClusteringRVA
+from repro.core.gain import evaluate_attack
+from repro.core.threat_model import AttackerKnowledge, ThreatModel
+from repro.graph.generators import powerlaw_cluster_graph
+from repro.protocols.lfgdpr import LFGDPRProtocol
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_cluster_graph(400, 5, 0.5, rng=0)
+
+
+@pytest.fixture(scope="module")
+def threat(graph):
+    return ThreatModel.sample(graph, beta=0.05, gamma=0.05, rng=0)
+
+
+@pytest.fixture(scope="module")
+def knowledge(graph):
+    return AttackerKnowledge.from_protocol(LFGDPRProtocol(epsilon=4.0), graph)
+
+
+class TestCraftingContracts:
+    @pytest.mark.parametrize(
+        "attack", [ClusteringRVA(), ClusteringRNA(), ClusteringMGA()]
+    )
+    def test_one_report_per_fake_user(self, attack, graph, threat, knowledge):
+        overrides = attack.craft(graph, threat, knowledge, rng=0)
+        assert sorted(overrides) == threat.fake_users.tolist()
+
+    @pytest.mark.parametrize(
+        "attack", [ClusteringRVA(), ClusteringRNA(), ClusteringMGA()]
+    )
+    def test_no_self_claims(self, attack, graph, threat, knowledge):
+        overrides = attack.craft(graph, threat, knowledge, rng=1)
+        for fake, report in overrides.items():
+            assert fake not in report.claimed_neighbors
+
+
+class TestMGAPairing:
+    def test_paired_fakes_claim_each_other(self, graph, threat, knowledge):
+        overrides = ClusteringMGA().craft(graph, threat, knowledge, rng=0)
+        fake_set = set(threat.fake_users.tolist())
+        mutual = 0
+        for fake, report in overrides.items():
+            partners = fake_set.intersection(report.claimed_neighbors.tolist())
+            for partner in partners:
+                if fake in overrides[partner].claimed_neighbors:
+                    mutual += 1
+        # m=20 fakes -> 10 pairs -> 20 mutual claim endpoints.
+        assert mutual == 2 * (threat.num_fake // 2)
+
+    def test_pairs_share_targets(self, graph, threat, knowledge):
+        overrides = ClusteringMGA().craft(graph, threat, knowledge, rng=0)
+        fake_set = set(threat.fake_users.tolist())
+        for fake, report in overrides.items():
+            partners = fake_set.intersection(report.claimed_neighbors.tolist())
+            for partner in partners:
+                mine = np.intersect1d(report.claimed_neighbors, threat.targets)
+                theirs = np.intersect1d(
+                    overrides[partner].claimed_neighbors, threat.targets
+                )
+                assert np.array_equal(mine, theirs), "pair must share its target set"
+
+    def test_budget_respected(self, graph, threat, knowledge):
+        overrides = ClusteringMGA().craft(graph, threat, knowledge, rng=0)
+        for report in overrides.values():
+            assert report.claimed_neighbors.size <= knowledge.connection_budget
+
+    def test_no_pairing_variant_has_no_fake_fake_edges(self, graph, threat, knowledge):
+        overrides = ClusteringMGA(prioritize_fake_edges=False).craft(
+            graph, threat, knowledge, rng=0
+        )
+        fake_set = set(threat.fake_users.tolist())
+        for report in overrides.values():
+            assert not fake_set.intersection(report.claimed_neighbors.tolist())
+
+    def test_odd_fake_count_leftover_targets_only(self, graph, knowledge):
+        threat = ThreatModel(
+            fake_users=np.arange(5), targets=np.arange(10, 30), num_nodes=graph.num_nodes
+        )
+        overrides = ClusteringMGA().craft(graph, threat, knowledge, rng=0)
+        assert len(overrides) == 5
+        fake_set = set(range(5))
+        solo_reports = [
+            report
+            for report in overrides.values()
+            if not fake_set.intersection(report.claimed_neighbors.tolist())
+        ]
+        assert len(solo_reports) == 1
+
+    def test_unbounded_variant_claims_all_targets(self, graph, threat, knowledge):
+        overrides = ClusteringMGA(respect_budget=False).craft(
+            graph, threat, knowledge, rng=0
+        )
+        for report in overrides.values():
+            claimed_targets = np.intersect1d(report.claimed_neighbors, threat.targets)
+            assert claimed_targets.size == threat.num_targets
+
+    def test_degree_report_noisy(self, graph, threat, knowledge):
+        overrides = ClusteringMGA().craft(graph, threat, knowledge, rng=0)
+        degrees = [report.reported_degree for report in overrides.values()]
+        assert any(abs(d - round(d)) > 1e-9 for d in degrees)
+
+
+class TestAttackOrdering:
+    def test_mga_beats_rva_beats_rna(self, graph, threat):
+        """The paper's headline ordering on clustering coefficient (Exp 4-6)."""
+        protocol = LFGDPRProtocol(epsilon=4.0)
+        gains = {}
+        for attack in (ClusteringMGA(), ClusteringRVA(), ClusteringRNA()):
+            totals = [
+                evaluate_attack(
+                    graph,
+                    protocol,
+                    attack,
+                    threat,
+                    metric="clustering_coefficient",
+                    rng=seed,
+                ).total_gain
+                for seed in range(3)
+            ]
+            gains[attack.name] = np.mean(totals)
+        assert gains["MGA"] > gains["RVA"] > gains["RNA"]
+
+    def test_prioritized_allocation_matters(self, graph, threat):
+        """Without fake-fake edges MGA cannot close triangles (ablation)."""
+        protocol = LFGDPRProtocol(epsilon=4.0)
+
+        def mean_gain(attack):
+            return np.mean(
+                [
+                    evaluate_attack(
+                        graph,
+                        protocol,
+                        attack,
+                        threat,
+                        metric="clustering_coefficient",
+                        rng=seed,
+                    ).total_gain
+                    for seed in range(4)
+                ]
+            )
+
+        assert mean_gain(ClusteringMGA()) > mean_gain(
+            ClusteringMGA(prioritize_fake_edges=False)
+        )

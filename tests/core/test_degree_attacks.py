@@ -1,0 +1,149 @@
+"""Tests for the degree-centrality attacks."""
+
+import numpy as np
+import pytest
+
+from repro.core.degree_attacks import DegreeMGA, DegreeRNA, DegreeRVA
+from repro.core.gain import evaluate_attack
+from repro.core.threat_model import AttackerKnowledge, ThreatModel
+from repro.graph.generators import powerlaw_cluster_graph
+from repro.protocols.lfgdpr import LFGDPRProtocol
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_cluster_graph(400, 5, 0.5, rng=0)
+
+
+@pytest.fixture(scope="module")
+def threat(graph):
+    return ThreatModel.sample(graph, beta=0.05, gamma=0.05, rng=0)
+
+
+@pytest.fixture(scope="module")
+def knowledge(graph):
+    return AttackerKnowledge.from_protocol(LFGDPRProtocol(epsilon=4.0), graph)
+
+
+class TestCraftingContracts:
+    @pytest.mark.parametrize("attack", [DegreeRVA(), DegreeRNA(), DegreeMGA()])
+    def test_one_report_per_fake_user(self, attack, graph, threat, knowledge):
+        overrides = attack.craft(graph, threat, knowledge, rng=0)
+        assert sorted(overrides) == threat.fake_users.tolist()
+
+    @pytest.mark.parametrize("attack", [DegreeRVA(), DegreeRNA(), DegreeMGA()])
+    def test_no_self_claims(self, attack, graph, threat, knowledge):
+        overrides = attack.craft(graph, threat, knowledge, rng=1)
+        for fake, report in overrides.items():
+            assert fake not in report.claimed_neighbors
+
+    @pytest.mark.parametrize("attack", [DegreeRVA(), DegreeRNA(), DegreeMGA()])
+    def test_deterministic(self, attack, graph, threat, knowledge):
+        a = attack.craft(graph, threat, knowledge, rng=5)
+        b = attack.craft(graph, threat, knowledge, rng=5)
+        for fake in threat.fake_users.tolist():
+            assert np.array_equal(a[fake].claimed_neighbors, b[fake].claimed_neighbors)
+            assert a[fake].reported_degree == b[fake].reported_degree
+
+
+class TestRVA:
+    def test_keeps_organic_edges(self, graph, threat, knowledge):
+        overrides = DegreeRVA().craft(graph, threat, knowledge, rng=0)
+        for fake, report in overrides.items():
+            organic = graph.neighbors(fake)
+            assert np.intersect1d(report.claimed_neighbors, organic).size == organic.size
+
+    def test_respects_budget(self, graph, threat, knowledge):
+        overrides = DegreeRVA().craft(graph, threat, knowledge, rng=0)
+        for fake, report in overrides.items():
+            organic = graph.neighbors(fake).size
+            assert report.claimed_neighbors.size <= max(knowledge.connection_budget, organic)
+
+    def test_degree_in_domain(self, graph, threat, knowledge):
+        overrides = DegreeRVA().craft(graph, threat, knowledge, rng=0)
+        for report in overrides.values():
+            assert 0 <= report.reported_degree < knowledge.degree_domain
+
+
+class TestRNA:
+    def test_augment_mode(self, graph, threat, knowledge):
+        overrides = DegreeRNA().craft(graph, threat, knowledge, rng=0)
+        assert all(report.augment for report in overrides.values())
+
+    def test_at_most_one_extra_edge_to_a_target(self, graph, threat, knowledge):
+        overrides = DegreeRNA().craft(graph, threat, knowledge, rng=0)
+        target_set = set(threat.targets.tolist())
+        for report in overrides.values():
+            assert report.claimed_neighbors.size <= 1
+            for claimed in report.claimed_neighbors.tolist():
+                assert claimed in target_set
+
+    def test_survival_rate_matches_rr(self, graph, threat, knowledge):
+        from repro.ldp.mechanisms import rr_keep_probability
+
+        rng = np.random.default_rng(0)
+        keep = rr_keep_probability(knowledge.adjacency_epsilon)
+        survived = []
+        for _ in range(40):
+            overrides = DegreeRNA().craft(graph, threat, knowledge, rng=rng)
+            survived.extend(
+                report.claimed_neighbors.size for report in overrides.values()
+            )
+        assert np.mean(survived) == pytest.approx(keep, abs=0.08)
+
+    def test_degree_delta_is_one(self, graph, threat, knowledge):
+        overrides = DegreeRNA().craft(graph, threat, knowledge, rng=0)
+        for report in overrides.values():
+            assert report.degree_delta in (0.0, 1.0)
+        assert any(report.degree_delta == 1.0 for report in overrides.values())
+
+
+class TestMGA:
+    def test_claims_min_r_budget_targets(self, graph, threat, knowledge):
+        overrides = DegreeMGA(keep_organic_edges=False).craft(graph, threat, knowledge, rng=0)
+        expected = min(threat.num_targets, knowledge.connection_budget)
+        for report in overrides.values():
+            claimed_targets = np.intersect1d(report.claimed_neighbors, threat.targets)
+            assert claimed_targets.size == expected
+
+    def test_keeps_organic_by_default(self, graph, threat, knowledge):
+        overrides = DegreeMGA().craft(graph, threat, knowledge, rng=0)
+        some_fake = threat.fake_users[0]
+        organic = graph.neighbors(some_fake)
+        claimed = overrides[int(some_fake)].claimed_neighbors
+        assert np.intersect1d(claimed, organic).size == organic.size
+
+    def test_unbounded_variant_claims_all_targets(self, graph, threat, knowledge):
+        overrides = DegreeMGA(respect_budget=False).craft(graph, threat, knowledge, rng=0)
+        for report in overrides.values():
+            claimed_targets = np.intersect1d(report.claimed_neighbors, threat.targets)
+            assert claimed_targets.size == threat.num_targets
+
+    def test_reported_degree_consistent(self, graph, threat, knowledge):
+        overrides = DegreeMGA().craft(graph, threat, knowledge, rng=0)
+        for report in overrides.values():
+            assert report.reported_degree == report.claimed_neighbors.size
+
+
+class TestAttackOrdering:
+    def test_mga_beats_rva_beats_rna(self, graph, threat):
+        """The paper's headline ordering on degree centrality (Exp 1-3)."""
+        protocol = LFGDPRProtocol(epsilon=4.0)
+        gains = {}
+        for attack in (DegreeMGA(), DegreeRVA(), DegreeRNA()):
+            totals = [
+                evaluate_attack(
+                    graph, protocol, attack, threat, metric="degree_centrality", rng=seed
+                ).total_gain
+                for seed in range(3)
+            ]
+            gains[attack.name] = np.mean(totals)
+        assert gains["MGA"] > gains["RVA"] > gains["RNA"]
+
+    def test_gains_positive(self, graph, threat):
+        protocol = LFGDPRProtocol(epsilon=4.0)
+        outcome = evaluate_attack(
+            graph, protocol, DegreeMGA(), threat, metric="degree_centrality", rng=0
+        )
+        assert outcome.total_gain > 0
+        assert np.all(outcome.per_target_gain >= 0)

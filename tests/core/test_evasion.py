@@ -1,0 +1,89 @@
+"""Tests for the Detect2-evading MGA variant (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.degree_attacks import DegreeMGA
+from repro.core.gain import evaluate_attack
+from repro.core.threat_model import AttackerKnowledge, ThreatModel
+from repro.defenses.base import detection_quality
+from repro.defenses.degree_consistency import DegreeConsistencyDefense
+from repro.defenses.hybrid import HybridDefense
+from repro.graph.generators import powerlaw_cluster_graph
+from repro.protocols.lfgdpr import LFGDPRProtocol
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_cluster_graph(400, 5, 0.5, rng=0)
+
+
+@pytest.fixture(scope="module")
+def threat(graph):
+    return ThreatModel.sample(graph, beta=0.05, gamma=0.05, rng=0)
+
+
+@pytest.fixture(scope="module")
+def protocol():
+    return LFGDPRProtocol(epsilon=4.0)
+
+
+def attacked_reports(graph, threat, protocol, attack, seed=0):
+    knowledge = AttackerKnowledge.from_protocol(protocol, graph)
+    overrides = attack.craft(graph, threat, knowledge, rng=seed)
+    return protocol.collect(graph, seed, overrides=overrides)
+
+
+class TestEvadingReports:
+    def test_reported_degree_matches_calibration(self, graph, threat, protocol):
+        knowledge = AttackerKnowledge.from_protocol(protocol, graph)
+        overrides = DegreeMGA(evade_consistency=True).craft(
+            graph, threat, knowledge, rng=0
+        )
+        from repro.ldp.mechanisms import rr_keep_probability
+
+        keep = rr_keep_probability(knowledge.adjacency_epsilon)
+        for report in overrides.values():
+            expected = max(
+                0.0,
+                (report.claimed_neighbors.size - (knowledge.num_nodes - 1) * (1 - keep))
+                / (2 * keep - 1),
+            )
+            assert report.reported_degree == pytest.approx(expected)
+
+    def test_gain_unchanged_by_evasion(self, graph, threat, protocol):
+        """Evasion costs nothing: the gain flows through the bit channel."""
+        plain = evaluate_attack(graph, protocol, DegreeMGA(), threat, rng=0).total_gain
+        evading = evaluate_attack(
+            graph, protocol, DegreeMGA(evade_consistency=True), threat, rng=0
+        ).total_gain
+        assert evading == pytest.approx(plain)
+
+
+class TestDetectorResponse:
+    def test_detect2_blinded(self, graph, threat, protocol):
+        """The consistency check sees nothing once both channels agree."""
+        plain_reports = attacked_reports(graph, threat, protocol, DegreeMGA(), seed=0)
+        evading_reports = attacked_reports(
+            graph, threat, protocol, DegreeMGA(evade_consistency=True), seed=0
+        )
+        defense = DegreeConsistencyDefense()
+        plain_recall = detection_quality(
+            defense.detect(plain_reports), threat.fake_users
+        ).recall
+        evading_recall = detection_quality(
+            defense.detect(evading_reports), threat.fake_users
+        ).recall
+        assert plain_recall > 0.9
+        assert evading_recall < 0.1
+
+    def test_hybrid_still_catches_evaders(self, graph, threat, protocol):
+        """Coordination remains visible: the hybrid's other signals fire."""
+        evading_reports = attacked_reports(
+            graph, threat, protocol, DegreeMGA(evade_consistency=True), seed=0
+        )
+        hybrid = HybridDefense(itemset_threshold=50, min_votes=2)
+        recall = detection_quality(
+            hybrid.detect(evading_reports), threat.fake_users
+        ).recall
+        assert recall > 0.5

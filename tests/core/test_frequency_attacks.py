@@ -1,0 +1,115 @@
+"""Tests for the frequency-oracle attack family (Cao et al. substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.core.frequency_attacks import (
+    FrequencyMGA,
+    FrequencyRIA,
+    FrequencyRPA,
+    evaluate_frequency_attack,
+)
+from repro.ldp.frequency_oracles import KRR, OLH, OUE
+
+
+@pytest.fixture(params=[KRR, OUE, OLH], ids=["krr", "oue", "olh"])
+def oracle(request):
+    return request.param(domain_size=16, epsilon=1.0)
+
+
+@pytest.fixture
+def genuine_values():
+    return np.random.default_rng(0).integers(0, 16, size=5_000)
+
+
+TARGETS = np.array([3, 7])
+
+
+class TestCraftingFormats:
+    @pytest.mark.parametrize("attack", [FrequencyRPA(), FrequencyRIA(), FrequencyMGA()])
+    def test_report_count(self, attack, oracle):
+        reports = attack.craft(oracle, 50, TARGETS, rng=0)
+        assert np.asarray(reports).shape[0] == 50
+
+    @pytest.mark.parametrize("attack", [FrequencyRPA(), FrequencyRIA(), FrequencyMGA()])
+    def test_reports_feed_support_counts(self, attack, oracle):
+        reports = attack.craft(oracle, 50, TARGETS, rng=0)
+        counts = oracle.support_counts(reports)
+        assert counts.shape == (oracle.domain_size,)
+
+    def test_target_validation(self, oracle):
+        with pytest.raises(ValueError, match="domain"):
+            FrequencyMGA().craft(oracle, 10, np.array([99]), rng=0)
+        with pytest.raises(ValueError, match="target"):
+            FrequencyMGA().craft(oracle, 10, np.array([], dtype=np.int64), rng=0)
+
+
+class TestMGACrafting:
+    def test_krr_reports_are_targets(self):
+        oracle = KRR(domain_size=16, epsilon=1.0)
+        reports = FrequencyMGA().craft(oracle, 100, TARGETS, rng=0)
+        assert set(np.unique(reports)).issubset(set(TARGETS.tolist()))
+
+    def test_oue_targets_always_set(self):
+        oracle = OUE(domain_size=16, epsilon=1.0)
+        reports = FrequencyMGA().craft(oracle, 100, TARGETS, rng=0)
+        assert np.all(reports[:, TARGETS] == 1)
+
+    def test_oue_padding(self):
+        oracle = OUE(domain_size=64, epsilon=1.0)
+        padded = FrequencyMGA(pad_oue_reports=True).craft(oracle, 20, TARGETS, rng=0)
+        bare = FrequencyMGA(pad_oue_reports=False).craft(oracle, 20, TARGETS, rng=0)
+        expected_ones = round(
+            oracle.support_probability_true
+            + (oracle.domain_size - 1) * oracle.support_probability_false
+        )
+        assert np.all(bare.sum(axis=1) == TARGETS.size)
+        assert np.all(padded.sum(axis=1) == max(expected_ones, TARGETS.size))
+
+    def test_olh_reports_identical_and_collide_targets(self):
+        oracle = OLH(domain_size=16, epsilon=1.0)
+        reports = FrequencyMGA(olh_seed_candidates=500).craft(oracle, 30, TARGETS, rng=0)
+        assert np.all(reports == reports[0])
+        a, b, y = reports[0]
+        hashed = oracle.hash_items(np.int64(a), np.int64(b), TARGETS)
+        # The chosen seed must collide at least one target into the bucket.
+        assert np.any(hashed == y)
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize("attack", [FrequencyRPA(), FrequencyRIA(), FrequencyMGA()])
+    def test_outcome_shapes(self, attack, oracle, genuine_values):
+        outcome = evaluate_frequency_attack(
+            oracle, genuine_values, attack, TARGETS, num_fake=250, rng=0
+        )
+        assert outcome.before.shape == (2,)
+        assert outcome.after.shape == (2,)
+
+    def test_mga_dominates(self, oracle, genuine_values):
+        """MGA >= RIA and MGA >= RPA in expected frequency gain."""
+        gains = {}
+        for attack in (FrequencyMGA(), FrequencyRIA(), FrequencyRPA()):
+            totals = [
+                evaluate_frequency_attack(
+                    oracle, genuine_values, attack, TARGETS, num_fake=250, rng=seed
+                ).total_gain
+                for seed in range(5)
+            ]
+            gains[attack.name] = np.mean(totals)
+        assert gains["MGA"] > gains["RIA"]
+        assert gains["MGA"] > gains["RPA"]
+
+    def test_mga_gain_positive(self, oracle, genuine_values):
+        outcome = evaluate_frequency_attack(
+            oracle, genuine_values, FrequencyMGA(), TARGETS, num_fake=250, rng=0
+        )
+        assert outcome.total_gain > 0
+
+    def test_deterministic(self, oracle, genuine_values):
+        a = evaluate_frequency_attack(
+            oracle, genuine_values, FrequencyMGA(), TARGETS, num_fake=100, rng=4
+        )
+        b = evaluate_frequency_attack(
+            oracle, genuine_values, FrequencyMGA(), TARGETS, num_fake=100, rng=4
+        )
+        assert a.total_gain == b.total_gain

@@ -1,0 +1,69 @@
+"""Tests for the Theorem 1 / Theorem 2 closed forms."""
+
+import pytest
+
+from repro.core.theory import theorem1_degree_gain, theorem2_clustering_gain
+
+
+class TestTheorem1:
+    def test_non_negative(self):
+        for d in (1.0, 10.0, 100.0, 500.0):
+            gain = theorem1_degree_gain(50, 20, 1000, d)
+            assert gain >= 0
+
+    def test_linear_in_m(self):
+        one = theorem1_degree_gain(1, 20, 1000, 50.0)
+        fifty = theorem1_degree_gain(50, 20, 1000, 50.0)
+        assert fifty == pytest.approx(50 * one)
+
+    def test_budget_cap(self):
+        # With budget >= r every fake connects to all r targets.
+        uncapped = theorem1_degree_gain(10, 5, 1000, 100.0)
+        assert uncapped == pytest.approx(10 * 5 / 999 * (1.0 - 100.0 / 999))
+
+    def test_budget_binding(self):
+        # Budget 3 < r=5: min(r, floor(d~)) = 3.
+        capped = theorem1_degree_gain(10, 5, 1000, 3.0)
+        assert capped == pytest.approx(10 * 5 / 999 * (3 / 5 - 3.0 / 999))
+
+    def test_decreasing_in_perturbed_degree_when_capped(self):
+        # Larger d~ with budget >= r only grows the organic-subtraction term.
+        gains = [theorem1_degree_gain(10, 5, 1000, d) for d in (10.0, 100.0, 500.0)]
+        assert gains == sorted(gains, reverse=True)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            theorem1_degree_gain(0, 5, 1000, 10.0)
+        with pytest.raises(ValueError):
+            theorem1_degree_gain(5, 0, 1000, 10.0)
+        with pytest.raises(ValueError):
+            theorem1_degree_gain(5, 5, 1, 10.0)
+        with pytest.raises(ValueError):
+            theorem1_degree_gain(5, 5, 1000, -1.0)
+
+
+class TestTheorem2:
+    def test_positive(self):
+        assert theorem2_clustering_gain(50, 20, 1000, 50.0, 2.0) > 0
+
+    def test_linear_in_m_and_r(self):
+        base = theorem2_clustering_gain(2, 1, 1000, 50.0, 2.0)
+        assert theorem2_clustering_gain(4, 1, 1000, 50.0, 2.0) == pytest.approx(2 * base)
+        assert theorem2_clustering_gain(2, 3, 1000, 50.0, 2.0) == pytest.approx(3 * base)
+
+    def test_increases_as_perturbed_degree_falls(self):
+        # 1/(d~(d~-1)) dominates: sparser perturbed graphs are more fragile.
+        gains = [
+            theorem2_clustering_gain(10, 5, 1000, d, 2.0) for d in (500.0, 100.0, 20.0)
+        ]
+        assert gains == sorted(gains)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            theorem2_clustering_gain(0, 5, 1000, 50.0, 2.0)
+        with pytest.raises(ValueError):
+            theorem2_clustering_gain(5, 5, 1000, 1.0, 2.0)  # d~ <= 1 degenerate
+        with pytest.raises(ValueError):
+            theorem2_clustering_gain(5, 5, 1000, 50.0, 0.0)  # eps=0 degenerate
+        with pytest.raises(ValueError):
+            theorem2_clustering_gain(5, 5, 100, 200.0, 2.0)  # p' > 1

@@ -1,0 +1,132 @@
+"""Tests for the threat model and attacker knowledge."""
+
+import numpy as np
+import pytest
+
+from repro.core.threat_model import AttackerKnowledge, ThreatModel
+from repro.graph.adjacency import Graph
+from repro.graph.generators import powerlaw_cluster_graph
+from repro.graph.metrics import average_degree
+from repro.ldp.perturbation import expected_perturbed_degree
+from repro.protocols.ldpgen import LDPGenProtocol
+from repro.protocols.lfgdpr import LFGDPRProtocol
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_cluster_graph(400, 5, 0.5, rng=0)
+
+
+class TestThreatModel:
+    def test_sample_sizes(self, graph):
+        threat = ThreatModel.sample(graph, beta=0.05, gamma=0.05, rng=0)
+        assert threat.num_fake == round(0.05 * 400)
+        assert threat.num_targets == round(0.05 * 400)
+        assert threat.num_nodes == 400
+
+    def test_disjoint(self, graph):
+        threat = ThreatModel.sample(graph, beta=0.1, gamma=0.1, rng=1)
+        assert np.intersect1d(threat.fake_users, threat.targets).size == 0
+
+    def test_minimum_one_each(self, graph):
+        threat = ThreatModel.sample(graph, beta=0.001, gamma=0.001, rng=0)
+        assert threat.num_fake == 1
+        assert threat.num_targets == 1
+
+    def test_deterministic(self, graph):
+        a = ThreatModel.sample(graph, beta=0.05, gamma=0.05, rng=7)
+        b = ThreatModel.sample(graph, beta=0.05, gamma=0.05, rng=7)
+        assert np.array_equal(a.fake_users, b.fake_users)
+        assert np.array_equal(a.targets, b.targets)
+
+    def test_fractions(self, graph):
+        threat = ThreatModel.sample(graph, beta=0.05, gamma=0.1, rng=0)
+        assert threat.beta == pytest.approx(0.05, abs=0.01)
+        assert threat.gamma == pytest.approx(0.1, abs=0.01)
+
+    def test_explicit_construction_sorted(self):
+        threat = ThreatModel(fake_users=[5, 2], targets=[9, 1], num_nodes=10)
+        assert threat.fake_users.tolist() == [2, 5]
+        assert threat.targets.tolist() == [1, 9]
+
+    def test_rejects_overlap(self):
+        with pytest.raises(ValueError, match="disjoint"):
+            ThreatModel(fake_users=[1, 2], targets=[2, 3], num_nodes=10)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="fake user"):
+            ThreatModel(fake_users=[], targets=[1], num_nodes=10)
+        with pytest.raises(ValueError, match="target"):
+            ThreatModel(fake_users=[1], targets=[], num_nodes=10)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="outside"):
+            ThreatModel(fake_users=[10], targets=[1], num_nodes=10)
+
+    def test_rejects_bad_fractions(self, graph):
+        with pytest.raises(ValueError):
+            ThreatModel.sample(graph, beta=0.0, gamma=0.05)
+        with pytest.raises(ValueError):
+            ThreatModel.sample(graph, beta=0.05, gamma=1.0)
+
+    def test_rejects_overfull(self):
+        tiny = Graph(4, [(0, 1)])
+        with pytest.raises(ValueError, match="no room"):
+            ThreatModel.sample(tiny, beta=0.7, gamma=0.7, rng=0)
+
+
+class TestAttackerKnowledge:
+    def test_from_lfgdpr(self, graph):
+        protocol = LFGDPRProtocol(epsilon=4.0)
+        knowledge = AttackerKnowledge.from_protocol(protocol, graph)
+        assert knowledge.adjacency_epsilon == pytest.approx(2.0)
+        assert knowledge.degree_epsilon == pytest.approx(2.0)
+        assert knowledge.num_nodes == graph.num_nodes
+        assert knowledge.average_degree == pytest.approx(average_degree(graph))
+
+    def test_from_ldpgen(self, graph):
+        protocol = LDPGenProtocol(epsilon=4.0)
+        knowledge = AttackerKnowledge.from_protocol(protocol, graph)
+        assert knowledge.adjacency_epsilon == pytest.approx(2.0)
+
+    def test_unknown_protocol_rejected(self, graph):
+        with pytest.raises(TypeError, match="attacker knowledge"):
+            AttackerKnowledge.from_protocol(object(), graph)
+
+    def test_perturbed_average_degree(self, graph):
+        knowledge = AttackerKnowledge(
+            num_nodes=graph.num_nodes,
+            adjacency_epsilon=2.0,
+            degree_epsilon=2.0,
+            average_degree=average_degree(graph),
+        )
+        expected = expected_perturbed_degree(
+            average_degree(graph), graph.num_nodes, 2.0
+        )
+        assert knowledge.perturbed_average_degree == pytest.approx(expected)
+
+    def test_connection_budget_floor_and_minimum(self, graph):
+        knowledge = AttackerKnowledge(
+            num_nodes=graph.num_nodes,
+            adjacency_epsilon=2.0,
+            degree_epsilon=2.0,
+            average_degree=average_degree(graph),
+        )
+        assert knowledge.connection_budget == int(knowledge.perturbed_average_degree)
+        tiny = AttackerKnowledge(
+            num_nodes=10, adjacency_epsilon=50.0, degree_epsilon=1.0, average_degree=0.1
+        )
+        assert tiny.connection_budget == 1
+
+    def test_budget_decreases_with_epsilon(self, graph):
+        budgets = [
+            AttackerKnowledge.from_protocol(LFGDPRProtocol(epsilon=eps), graph).connection_budget
+            for eps in (1, 2, 4, 8)
+        ]
+        assert budgets == sorted(budgets, reverse=True)
+
+    def test_degree_domain(self):
+        knowledge = AttackerKnowledge(
+            num_nodes=50, adjacency_epsilon=1.0, degree_epsilon=1.0, average_degree=5.0
+        )
+        assert knowledge.degree_domain == 50

@@ -1,0 +1,121 @@
+"""Tests for the untargeted manipulation attacks (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.threat_model import AttackerKnowledge, ThreatModel
+from repro.core.untargeted_attacks import (
+    UntargetedConcentratedAttack,
+    UntargetedUniformAttack,
+    UntargetedWithdrawalAttack,
+    evaluate_untargeted_attack,
+)
+from repro.graph.generators import powerlaw_cluster_graph
+from repro.protocols.lfgdpr import LFGDPRProtocol
+
+ATTACKS = [
+    UntargetedUniformAttack(),
+    UntargetedConcentratedAttack(),
+    UntargetedWithdrawalAttack(),
+]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_cluster_graph(300, 4, 0.5, rng=0)
+
+
+@pytest.fixture(scope="module")
+def threat(graph):
+    return ThreatModel.sample(graph, beta=0.05, gamma=0.05, rng=0)
+
+
+@pytest.fixture(scope="module")
+def knowledge(graph):
+    return AttackerKnowledge.from_protocol(LFGDPRProtocol(epsilon=4.0), graph)
+
+
+class TestCrafting:
+    @pytest.mark.parametrize("attack", ATTACKS, ids=lambda a: a.name)
+    def test_one_report_per_fake(self, attack, graph, threat, knowledge):
+        overrides = attack.craft(graph, threat, knowledge, rng=0)
+        assert sorted(overrides) == threat.fake_users.tolist()
+
+    def test_uniform_respects_budget(self, graph, threat, knowledge):
+        overrides = UntargetedUniformAttack().craft(graph, threat, knowledge, rng=0)
+        for report in overrides.values():
+            assert report.claimed_neighbors.size <= knowledge.connection_budget
+
+    def test_concentrated_shares_victims(self, graph, threat, knowledge):
+        overrides = UntargetedConcentratedAttack().craft(graph, threat, knowledge, rng=0)
+        reports = list(overrides.values())
+        first = reports[0].claimed_neighbors
+        assert all(np.array_equal(report.claimed_neighbors, first) for report in reports)
+
+    def test_concentrated_victims_not_fakes(self, graph, threat, knowledge):
+        overrides = UntargetedConcentratedAttack().craft(graph, threat, knowledge, rng=0)
+        victims = next(iter(overrides.values())).claimed_neighbors
+        assert np.intersect1d(victims, threat.fake_users).size == 0
+
+    def test_withdrawal_reports_empty(self, graph, threat, knowledge):
+        overrides = UntargetedWithdrawalAttack().craft(graph, threat, knowledge, rng=0)
+        for report in overrides.values():
+            assert report.claimed_neighbors.size == 0
+            assert report.reported_degree == 0.0
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize("attack", ATTACKS, ids=lambda a: a.name)
+    def test_distance_positive(self, attack, graph, threat):
+        protocol = LFGDPRProtocol(epsilon=4.0)
+        outcome = evaluate_untargeted_attack(graph, protocol, attack, threat, rng=0)
+        assert outcome.distance > 0
+        assert outcome.before.shape == (graph.num_nodes,)
+
+    def test_metric_validation(self, graph, threat):
+        protocol = LFGDPRProtocol(epsilon=4.0)
+        with pytest.raises(ValueError, match="untargeted"):
+            evaluate_untargeted_attack(
+                graph, protocol, UntargetedUniformAttack(), threat, metric="modularity"
+            )
+
+    def test_l2_concentration_beats_uniform(self, graph, threat):
+        """Concentrating claims maximises the L2 displacement."""
+        protocol = LFGDPRProtocol(epsilon=4.0)
+        concentrated = np.mean(
+            [
+                evaluate_untargeted_attack(
+                    graph, protocol, UntargetedConcentratedAttack(), threat,
+                    norm=2.0, rng=seed,
+                ).distance
+                for seed in range(3)
+            ]
+        )
+        uniform = np.mean(
+            [
+                evaluate_untargeted_attack(
+                    graph, protocol, UntargetedUniformAttack(), threat,
+                    norm=2.0, rng=seed,
+                ).distance
+                for seed in range(3)
+            ]
+        )
+        assert concentrated > uniform
+
+    def test_deterministic(self, graph, threat):
+        protocol = LFGDPRProtocol(epsilon=4.0)
+        a = evaluate_untargeted_attack(
+            graph, protocol, UntargetedUniformAttack(), threat, rng=7
+        )
+        b = evaluate_untargeted_attack(
+            graph, protocol, UntargetedUniformAttack(), threat, rng=7
+        )
+        assert a.distance == b.distance
+
+    def test_clustering_metric_supported(self, graph, threat):
+        protocol = LFGDPRProtocol(epsilon=4.0)
+        outcome = evaluate_untargeted_attack(
+            graph, protocol, UntargetedConcentratedAttack(), threat,
+            metric="clustering_coefficient", rng=0,
+        )
+        assert np.isfinite(outcome.distance)

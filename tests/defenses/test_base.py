@@ -1,0 +1,100 @@
+"""Tests for the defense interface helpers and repair strategies."""
+
+import numpy as np
+import pytest
+
+from repro.defenses.base import (
+    detection_quality,
+    remove_flagged_pairs,
+    resample_flagged_rows,
+)
+from repro.graph.adjacency import Graph
+from repro.protocols.base import CollectedReports
+
+
+@pytest.fixture
+def reports():
+    graph = Graph(8, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (0, 7)])
+    return CollectedReports(
+        perturbed_graph=graph,
+        reported_degrees=np.full(8, 2.0),
+        adjacency_epsilon=2.0,
+        degree_epsilon=2.0,
+    )
+
+
+class TestDetectionQuality:
+    def test_perfect(self):
+        quality = detection_quality(np.array([1, 2]), np.array([1, 2]))
+        assert quality.precision == 1.0
+        assert quality.recall == 1.0
+
+    def test_partial(self):
+        quality = detection_quality(np.array([1, 3]), np.array([1, 2]))
+        assert quality.precision == 0.5
+        assert quality.recall == 0.5
+
+    def test_empty_flagged(self):
+        quality = detection_quality(np.array([]), np.array([1]))
+        assert quality.precision == 0.0
+        assert quality.recall == 0.0
+
+    def test_no_fakes(self):
+        quality = detection_quality(np.array([1]), np.array([]))
+        assert quality.recall == 0.0
+
+
+class TestRemoveFlaggedPairs:
+    def test_removes_incident_pairs(self, reports):
+        repaired = remove_flagged_pairs(reports, np.array([0]))
+        assert not repaired.perturbed_graph.has_edge(0, 1)
+        assert not repaired.perturbed_graph.has_edge(0, 7)
+        assert repaired.perturbed_graph.has_edge(1, 2)
+
+    def test_no_flagged_is_identity(self, reports):
+        assert remove_flagged_pairs(reports, np.array([], dtype=np.int64)) is reports
+
+    def test_original_untouched(self, reports):
+        remove_flagged_pairs(reports, np.array([0]))
+        assert reports.perturbed_graph.has_edge(0, 1)
+
+    def test_budgets_preserved(self, reports):
+        repaired = remove_flagged_pairs(reports, np.array([0]))
+        assert repaired.adjacency_epsilon == reports.adjacency_epsilon
+        assert repaired.degree_epsilon == reports.degree_epsilon
+
+
+class TestResampleFlaggedRows:
+    def test_old_claims_gone(self, reports):
+        repaired = resample_flagged_rows(reports, np.array([0]), rng=0)
+        # Old edges may coincidentally be redrawn; run a few seeds and check
+        # the redraw is density-driven, not claim-preserving.
+        redraw_hits = 0
+        for seed in range(20):
+            repaired = resample_flagged_rows(reports, np.array([0]), rng=seed)
+            redraw_hits += repaired.perturbed_graph.has_edge(0, 1)
+        # density = 8/28 ~ 0.29 -> expect ~6 hits, far from 20.
+        assert redraw_hits < 15
+
+    def test_density_preserved_roughly(self, reports):
+        degrees = []
+        for seed in range(50):
+            repaired = resample_flagged_rows(reports, np.array([0]), rng=seed)
+            degrees.append(repaired.perturbed_graph.degree(0))
+        from repro.graph.metrics import edge_density
+
+        expected = edge_density(reports.perturbed_graph) * 7
+        assert np.mean(degrees) == pytest.approx(expected, rel=0.4)
+
+    def test_flagged_pair_drawn_once(self, reports):
+        # Resampling two flagged users must not crash or double-add pairs.
+        repaired = resample_flagged_rows(reports, np.array([0, 1]), rng=0)
+        assert repaired.perturbed_graph.num_nodes == 8
+
+    def test_deterministic(self, reports):
+        a = resample_flagged_rows(reports, np.array([0]), rng=3)
+        b = resample_flagged_rows(reports, np.array([0]), rng=3)
+        assert a.perturbed_graph == b.perturbed_graph
+
+    def test_no_flagged_identity(self, reports):
+        assert resample_flagged_rows(reports, np.array([], dtype=np.int64)) is reports

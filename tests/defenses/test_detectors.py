@@ -1,0 +1,217 @@
+"""Tests for Detect1, Detect2 and the naive baselines on planted attacks."""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering_attacks import ClusteringMGA
+from repro.core.degree_attacks import DegreeMGA, DegreeRVA
+from repro.core.threat_model import AttackerKnowledge, ThreatModel
+from repro.defenses.base import detection_quality
+from repro.defenses.degree_consistency import DegreeConsistencyDefense
+from repro.defenses.evaluation import evaluate_defended_attack
+from repro.defenses.frequent_itemset import FrequentItemsetDefense
+from repro.defenses.naive import NaiveDegreeTailsDefense, NaiveTopDegreeDefense
+from repro.core.gain import evaluate_attack
+from repro.graph.generators import powerlaw_cluster_graph
+from repro.protocols.lfgdpr import LFGDPRProtocol
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_cluster_graph(400, 5, 0.5, rng=0)
+
+
+@pytest.fixture(scope="module")
+def threat(graph):
+    return ThreatModel.sample(graph, beta=0.05, gamma=0.05, rng=0)
+
+
+@pytest.fixture(scope="module")
+def protocol():
+    return LFGDPRProtocol(epsilon=4.0)
+
+
+def attacked_reports(graph, threat, protocol, attack, seed=0):
+    knowledge = AttackerKnowledge.from_protocol(protocol, graph)
+    overrides = attack.craft(graph, threat, knowledge, rng=seed)
+    return protocol.collect(graph, seed, overrides=overrides)
+
+
+class TestFrequentItemsetDefense:
+    def test_flags_mga_fakes(self, graph, threat, protocol):
+        reports = attacked_reports(graph, threat, protocol, DegreeMGA(), seed=0)
+        defense = FrequentItemsetDefense(threshold=50)
+        quality = detection_quality(defense.detect(reports), threat.fake_users)
+        assert quality.recall > 0.5
+
+    def test_clean_reports_mostly_unflagged(self, graph, threat, protocol):
+        clean = protocol.collect(graph, rng=0)
+        defense = FrequentItemsetDefense(threshold=50)
+        flagged = defense.detect(clean)
+        assert flagged.size < 0.1 * graph.num_nodes
+
+    def test_higher_threshold_flags_fewer(self, graph, threat, protocol):
+        reports = attacked_reports(graph, threat, protocol, DegreeMGA(), seed=0)
+        low = FrequentItemsetDefense(threshold=10).detect(reports).size
+        high = FrequentItemsetDefense(threshold=500).detect(reports).size
+        assert high <= low
+
+    def test_explicit_supports(self, graph, threat, protocol):
+        reports = attacked_reports(graph, threat, protocol, DegreeMGA(), seed=0)
+        defense = FrequentItemsetDefense(threshold=50, item_support=5, pair_support=10)
+        assert isinstance(defense.detect(reports), np.ndarray)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            FrequentItemsetDefense(threshold=0)
+
+    def test_counts_nonnegative(self, graph, threat, protocol):
+        reports = attacked_reports(graph, threat, protocol, ClusteringMGA(), seed=0)
+        counts = FrequentItemsetDefense(threshold=50).frequent_pair_counts(reports)
+        assert counts.shape == (graph.num_nodes,)
+        assert np.all(counts >= 0)
+
+
+class TestDegreeConsistencyDefense:
+    def test_flags_rva_fakes(self, graph, threat, protocol):
+        reports = attacked_reports(graph, threat, protocol, DegreeRVA(), seed=0)
+        defense = DegreeConsistencyDefense()
+        quality = detection_quality(defense.detect(reports), threat.fake_users)
+        # RVA draws degrees uniformly: most fall far from the bit-vector
+        # degree, but draws that happen to land nearby are missed.
+        assert quality.recall > 0.5
+
+    def test_clean_reports_rarely_flagged(self, graph, protocol):
+        clean = protocol.collect(graph, rng=1)
+        flagged = DegreeConsistencyDefense().detect(clean)
+        assert flagged.size <= 0.02 * graph.num_nodes
+
+    def test_paper_policy_is_permissive(self, graph, threat, protocol):
+        reports = attacked_reports(graph, threat, protocol, DegreeRVA(), seed=0)
+        sigma = DegreeConsistencyDefense(policy="sigma").detect(reports).size
+        paper = DegreeConsistencyDefense(policy="paper").detect(reports).size
+        assert paper <= sigma
+
+    def test_explicit_threshold(self, graph, threat, protocol):
+        reports = attacked_reports(graph, threat, protocol, DegreeRVA(), seed=0)
+        tight = DegreeConsistencyDefense(threshold=1.0).detect(reports).size
+        loose = DegreeConsistencyDefense(threshold=1e9).detect(reports).size
+        assert loose == 0
+        assert tight > 0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            DegreeConsistencyDefense(policy="magic")
+        with pytest.raises(ValueError):
+            DegreeConsistencyDefense(threshold=-1.0)
+
+
+class TestNaiveDefenses:
+    def test_naive1_flags_fraction(self, graph, threat, protocol):
+        reports = attacked_reports(graph, threat, protocol, DegreeMGA(), seed=0)
+        flagged = NaiveTopDegreeDefense(fraction=0.03).detect(reports)
+        assert flagged.size == round(0.03 * graph.num_nodes)
+
+    def test_naive2_flags_both_tails(self, graph, threat, protocol):
+        reports = attacked_reports(graph, threat, protocol, DegreeRVA(), seed=0)
+        flagged = NaiveDegreeTailsDefense(fraction=0.03).detect(reports)
+        count = round(0.03 * graph.num_nodes)
+        assert count <= flagged.size <= 2 * count
+
+    def test_fraction_validated(self):
+        with pytest.raises(ValueError):
+            NaiveTopDegreeDefense(fraction=0.0)
+        with pytest.raises(ValueError):
+            NaiveDegreeTailsDefense(fraction=1.0)
+
+
+class TestDefendedEvaluation:
+    def test_detect1_reduces_mga_gain(self, graph, threat, protocol):
+        seeds = range(3)
+        undefended = np.mean(
+            [
+                evaluate_attack(
+                    graph, protocol, DegreeMGA(), threat, metric="degree_centrality", rng=s
+                ).total_gain
+                for s in seeds
+            ]
+        )
+        defended = np.mean(
+            [
+                evaluate_defended_attack(
+                    graph,
+                    protocol,
+                    DegreeMGA(),
+                    FrequentItemsetDefense(threshold=50),
+                    threat,
+                    metric="degree_centrality",
+                    rng=s,
+                ).total_gain
+                for s in seeds
+            ]
+        )
+        assert defended < undefended
+
+    def test_detect2_reduces_rva_gain_but_not_fully(self, graph, threat, protocol):
+        seeds = range(4)
+        undefended = np.mean(
+            [
+                evaluate_attack(
+                    graph, protocol, DegreeRVA(), threat, metric="degree_centrality", rng=s
+                ).total_gain
+                for s in seeds
+            ]
+        )
+        defended = np.mean(
+            [
+                evaluate_defended_attack(
+                    graph,
+                    protocol,
+                    DegreeRVA(),
+                    DegreeConsistencyDefense(),
+                    threat,
+                    metric="degree_centrality",
+                    rng=s,
+                ).total_gain
+                for s in seeds
+            ]
+        )
+        assert defended < undefended
+        assert defended > 0, "the countermeasure must not fully neutralise the attack"
+
+    def test_outcome_fields(self, graph, threat, protocol):
+        outcome = evaluate_defended_attack(
+            graph,
+            protocol,
+            DegreeMGA(),
+            FrequentItemsetDefense(threshold=50),
+            threat,
+            metric="degree_centrality",
+            rng=0,
+        )
+        assert outcome.attack_name == "MGA"
+        assert outcome.defense_name == "Detect1"
+        assert 0.0 <= outcome.quality.precision <= 1.0
+        assert outcome.total_gain >= 0
+
+    def test_metric_validated(self, graph, threat, protocol):
+        with pytest.raises(ValueError, match="metric"):
+            evaluate_defended_attack(
+                graph,
+                protocol,
+                DegreeMGA(),
+                FrequentItemsetDefense(threshold=50),
+                threat,
+                metric="pagerank",
+            )
+
+    def test_modularity_requires_labels(self, graph, threat, protocol):
+        with pytest.raises(ValueError, match="labels"):
+            evaluate_defended_attack(
+                graph,
+                protocol,
+                DegreeMGA(),
+                FrequentItemsetDefense(threshold=50),
+                threat,
+                metric="modularity",
+            )

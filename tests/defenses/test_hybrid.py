@@ -1,0 +1,102 @@
+"""Tests for the hybrid extension defense."""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering_attacks import ClusteringMGA
+from repro.core.degree_attacks import DegreeMGA, DegreeRVA
+from repro.core.threat_model import AttackerKnowledge, ThreatModel
+from repro.defenses.base import detection_quality
+from repro.defenses.evaluation import evaluate_defended_attack
+from repro.defenses.hybrid import HybridDefense
+from repro.graph.generators import powerlaw_cluster_graph
+from repro.protocols.lfgdpr import LFGDPRProtocol
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_cluster_graph(400, 5, 0.5, rng=0)
+
+
+@pytest.fixture(scope="module")
+def threat(graph):
+    return ThreatModel.sample(graph, beta=0.05, gamma=0.05, rng=0)
+
+
+@pytest.fixture(scope="module")
+def protocol():
+    return LFGDPRProtocol(epsilon=4.0)
+
+
+def attacked_reports(graph, threat, protocol, attack, seed=0):
+    knowledge = AttackerKnowledge.from_protocol(protocol, graph)
+    overrides = attack.craft(graph, threat, knowledge, rng=seed)
+    return protocol.collect(graph, seed, overrides=overrides)
+
+
+class TestConstruction:
+    def test_rejects_bad_votes(self):
+        with pytest.raises(ValueError):
+            HybridDefense(min_votes=0)
+        with pytest.raises(ValueError, match="vote count"):
+            HybridDefense(min_votes=6)
+
+    def test_rejects_bad_noise_z(self):
+        with pytest.raises(ValueError):
+            HybridDefense(noise_z=0.0)
+
+
+class TestDetection:
+    @pytest.mark.parametrize(
+        "attack", [DegreeMGA(), DegreeRVA(), ClusteringMGA()],
+        ids=lambda a: type(a).__name__,
+    )
+    def test_catches_every_attack_family(self, graph, threat, protocol, attack):
+        """The point of the hybrid: no single-signal blind spot."""
+        reports = attacked_reports(graph, threat, protocol, attack, seed=0)
+        flagged = HybridDefense(itemset_threshold=50, min_votes=2).detect(reports)
+        quality = detection_quality(flagged, threat.fake_users)
+        assert quality.recall > 0.5, type(attack).__name__
+
+    def test_clean_reports_low_false_positives(self, graph, protocol):
+        clean = protocol.collect(graph, rng=0)
+        flagged = HybridDefense(itemset_threshold=50, min_votes=2).detect(clean)
+        assert flagged.size <= 0.02 * graph.num_nodes
+
+    def test_union_flags_more_than_unanimous(self, graph, threat, protocol):
+        reports = attacked_reports(graph, threat, protocol, DegreeMGA(), seed=0)
+        union = HybridDefense(itemset_threshold=50, min_votes=1).detect(reports)
+        unanimous = HybridDefense(itemset_threshold=50, min_votes=3).detect(reports)
+        assert union.size >= unanimous.size
+
+    def test_precision_better_than_individual_votes(self, graph, threat, protocol):
+        """Two-vote agreement prunes single-signal false positives."""
+        reports = attacked_reports(graph, threat, protocol, DegreeMGA(), seed=0)
+        two_votes = HybridDefense(itemset_threshold=50, min_votes=2).detect(reports)
+        one_vote = HybridDefense(itemset_threshold=50, min_votes=1).detect(reports)
+        q2 = detection_quality(two_votes, threat.fake_users)
+        q1 = detection_quality(one_vote, threat.fake_users)
+        assert q2.precision >= q1.precision
+
+
+class TestMitigation:
+    def test_reduces_mga_degree_gain(self, graph, threat, protocol):
+        from repro.core.gain import evaluate_attack
+
+        undefended = np.mean(
+            [
+                evaluate_attack(graph, protocol, DegreeMGA(), threat, rng=s).total_gain
+                for s in range(3)
+            ]
+        )
+        defended = np.mean(
+            [
+                evaluate_defended_attack(
+                    graph, protocol, DegreeMGA(),
+                    HybridDefense(itemset_threshold=50), threat,
+                    metric="degree_centrality", rng=s,
+                ).total_gain
+                for s in range(3)
+            ]
+        )
+        assert defended < undefended

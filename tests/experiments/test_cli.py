@@ -1,0 +1,61 @@
+"""Tests for the experiment CLI."""
+
+import io
+
+import pytest
+
+from repro.experiments.cli import ARTIFACTS, build_parser, run
+
+
+class TestParser:
+    def test_artifact_choices(self):
+        assert "fig6" in ARTIFACTS and "table2" in ARTIFACTS and "fig15" in ARTIFACTS
+
+    def test_parses_defaults(self):
+        args = build_parser().parse_args(["fig6"])
+        assert args.dataset == "facebook"
+        assert args.trials == 2
+
+    def test_rejects_unknown_artifact(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig6", "--dataset", "twitter"])
+
+
+class TestRun:
+    def test_list(self):
+        out = io.StringIO()
+        assert run(["list"], out=out) == 0
+        text = out.getvalue()
+        assert "table2" in text and "fig14" in text
+
+    def test_table2(self):
+        out = io.StringIO()
+        assert run(["table2", "--scale", "0.05"], out=out) == 0
+        assert "facebook" in out.getvalue()
+
+    def test_fig6_tiny(self):
+        out = io.StringIO()
+        code = run(
+            ["fig6", "--dataset", "facebook", "--scale", "0.04", "--trials", "1"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "MGA" in text and "epsilon" in text
+
+    def test_fig12a_tiny(self):
+        out = io.StringIO()
+        code = run(["fig12a", "--scale", "0.04", "--trials", "1"], out=out)
+        assert code == 0
+        assert "Detect1" in out.getvalue()
+
+    def test_fig14_tiny(self):
+        out = io.StringIO()
+        code = run(["fig14", "--scale", "0.03", "--trials", "1"], out=out)
+        assert code == 0
+        text = out.getvalue()
+        assert "LF-GDPR" in text and "LDPGen" in text

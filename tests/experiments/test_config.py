@@ -1,0 +1,53 @@
+"""Tests for the experiment configuration."""
+
+import pytest
+
+from repro.experiments.config import (
+    BETAS,
+    DATASET_NAMES,
+    DEFAULT_CONFIG,
+    DETECT1_THRESHOLDS_CLUSTERING,
+    DETECT1_THRESHOLDS_DEGREE,
+    DETECT2_BETAS,
+    EPSILONS,
+    GAMMAS,
+    ExperimentConfig,
+)
+
+
+class TestDefaults:
+    def test_table3_values(self):
+        assert DEFAULT_CONFIG.beta == 0.05
+        assert DEFAULT_CONFIG.gamma == 0.05
+        assert DEFAULT_CONFIG.epsilon == 4.0
+
+    def test_dataset_order(self):
+        assert DATASET_NAMES == ("facebook", "enron", "astroph", "gplus")
+
+    def test_sweep_grids(self):
+        assert EPSILONS == (1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0)
+        assert BETAS == (0.001, 0.005, 0.01, 0.05, 0.1)
+        assert GAMMAS == BETAS
+        assert DETECT1_THRESHOLDS_DEGREE == (50, 100, 150, 200, 250, 300)
+        assert DETECT1_THRESHOLDS_CLUSTERING == (50, 75, 100, 125, 150)
+        assert DETECT2_BETAS[-1] == 0.15
+
+
+class TestConfig:
+    def test_with_overrides(self):
+        config = DEFAULT_CONFIG.with_overrides(epsilon=2.0, trials=1)
+        assert config.epsilon == 2.0
+        assert config.trials == 1
+        assert config.beta == DEFAULT_CONFIG.beta
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_CONFIG.epsilon = 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(beta=0.0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(epsilon=-1.0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(trials=0)

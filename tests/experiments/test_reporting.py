@@ -1,0 +1,33 @@
+"""Tests for the ASCII table renderer."""
+
+import pytest
+
+from repro.experiments.reporting import format_table
+
+
+class TestFormatTable:
+    def test_basic_render(self):
+        text = format_table(["a", "b"], [[1, 2.5], [10, 0.25]])
+        lines = text.splitlines()
+        assert lines[0].strip().startswith("a")
+        assert "2.5000" in text
+        assert "0.2500" in text
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="Fig 1")
+        assert text.splitlines()[0] == "Fig 1"
+
+    def test_column_width_from_data(self):
+        text = format_table(["x"], [["a-very-long-cell"]])
+        header_line = text.splitlines()[0]
+        assert len(header_line) == len("a-very-long-cell")
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError, match="columns"):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        assert "0.1235" in format_table(["v"], [[0.123456]])
+
+    def test_string_cells_untouched(self):
+        assert "MGA" in format_table(["attack"], [["MGA"]])

@@ -1,0 +1,202 @@
+"""Tests for repro.graph.adjacency.Graph."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.adjacency import Graph
+from repro.utils.sparse import pair_count
+
+
+@pytest.fixture
+def triangle_plus_isolated():
+    """Triangle 0-1-2 plus isolated node 3."""
+    return Graph(4, [(0, 1), (1, 2), (2, 0)])
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph(0)
+        assert g.num_nodes == 0 and g.num_edges == 0
+
+    def test_isolated_nodes(self):
+        g = Graph(5)
+        assert g.num_nodes == 5 and g.num_edges == 0
+        assert np.array_equal(g.degrees(), np.zeros(5))
+
+    def test_duplicate_edges_collapse(self):
+        g = Graph(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loops"):
+            Graph(3, [(1, 1)])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Graph(3, [(0, 3)])
+
+    def test_bad_edge_shape_rejected(self):
+        with pytest.raises(ValueError, match="pairs"):
+            Graph(3, [(0, 1, 2)])
+
+    def test_negative_num_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(-1)
+
+    def test_from_codes(self):
+        g = Graph.from_codes(4, np.array([0, 5], dtype=np.int64))
+        assert g.has_edge(0, 1) and g.has_edge(2, 3)
+
+    def test_from_codes_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Graph.from_codes(4, np.array([pair_count(4)], dtype=np.int64))
+
+
+class TestQueries:
+    def test_neighbors(self, triangle_plus_isolated):
+        g = triangle_plus_isolated
+        assert g.neighbors(0).tolist() == [1, 2]
+        assert g.neighbors(3).tolist() == []
+
+    def test_degrees(self, triangle_plus_isolated):
+        assert triangle_plus_isolated.degrees().tolist() == [2, 2, 2, 0]
+
+    def test_degree_single(self, triangle_plus_isolated):
+        assert triangle_plus_isolated.degree(1) == 2
+
+    def test_has_edge_symmetry(self, triangle_plus_isolated):
+        g = triangle_plus_isolated
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert not g.has_edge(0, 3)
+        assert not g.has_edge(2, 2)
+
+    def test_node_range_checked(self, triangle_plus_isolated):
+        with pytest.raises(IndexError):
+            triangle_plus_isolated.neighbors(4)
+        with pytest.raises(IndexError):
+            triangle_plus_isolated.degree(-1)
+
+    def test_adjacency_bit_vector(self, triangle_plus_isolated):
+        row = triangle_plus_isolated.adjacency_bit_vector(0)
+        assert row.tolist() == [0, 1, 1, 0]
+        assert row.dtype == np.uint8
+
+    def test_edges_iteration(self, triangle_plus_isolated):
+        assert sorted(triangle_plus_isolated.edges()) == [(0, 1), (0, 2), (1, 2)]
+
+    def test_csr_symmetric(self, triangle_plus_isolated):
+        matrix = triangle_plus_isolated.csr()
+        dense = matrix.toarray()
+        assert np.array_equal(dense, dense.T)
+        assert dense.sum() == 6  # 3 edges, both directions
+
+    def test_degrees_read_only(self, triangle_plus_isolated):
+        with pytest.raises(ValueError):
+            triangle_plus_isolated.degrees()[0] = 99
+
+    def test_edge_codes_read_only(self, triangle_plus_isolated):
+        with pytest.raises(ValueError):
+            triangle_plus_isolated.edge_codes[0] = 99
+
+
+class TestEdits:
+    def test_with_edges(self, triangle_plus_isolated):
+        g2 = triangle_plus_isolated.with_edges([(0, 3)])
+        assert g2.has_edge(0, 3)
+        assert not triangle_plus_isolated.has_edge(0, 3), "original must be untouched"
+
+    def test_with_edges_idempotent(self, triangle_plus_isolated):
+        g2 = triangle_plus_isolated.with_edges([(0, 1)])
+        assert g2.num_edges == 3
+
+    def test_with_edges_empty_returns_self(self, triangle_plus_isolated):
+        assert triangle_plus_isolated.with_edges([]) is triangle_plus_isolated
+
+    def test_without_edges(self, triangle_plus_isolated):
+        g2 = triangle_plus_isolated.without_edges([(0, 1)])
+        assert not g2.has_edge(0, 1)
+        assert g2.num_edges == 2
+
+    def test_without_missing_edge_ignored(self, triangle_plus_isolated):
+        g2 = triangle_plus_isolated.without_edges([(0, 3)])
+        assert g2.num_edges == 3
+
+    def test_with_nodes(self, triangle_plus_isolated):
+        g2 = triangle_plus_isolated.with_nodes(2)
+        assert g2.num_nodes == 6
+        assert g2.num_edges == 3
+        assert g2.has_edge(0, 1) and g2.has_edge(1, 2) and g2.has_edge(0, 2)
+        assert g2.degree(4) == 0 and g2.degree(5) == 0
+
+    def test_with_nodes_zero(self, triangle_plus_isolated):
+        assert triangle_plus_isolated.with_nodes(0) is triangle_plus_isolated
+
+    def test_subgraph(self, triangle_plus_isolated):
+        sub = triangle_plus_isolated.subgraph([0, 1, 3])
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 1
+        assert sub.has_edge(0, 1)
+
+    def test_subgraph_duplicate_nodes_rejected(self, triangle_plus_isolated):
+        with pytest.raises(ValueError, match="unique"):
+            triangle_plus_isolated.subgraph([0, 0, 1])
+
+
+class TestNetworkxInterop:
+    def test_round_trip(self, triangle_plus_isolated):
+        nx_graph = triangle_plus_isolated.to_networkx()
+        back = Graph.from_networkx(nx_graph)
+        assert back == triangle_plus_isolated
+
+    def test_from_networkx_relabels(self):
+        import networkx as nx
+
+        nx_graph = nx.Graph()
+        nx_graph.add_edge("alice", "bob")
+        g = Graph.from_networkx(nx_graph)
+        assert g.num_nodes == 2 and g.num_edges == 1
+
+
+class TestEquality:
+    def test_equal(self):
+        assert Graph(3, [(0, 1)]) == Graph(3, [(1, 0)])
+
+    def test_not_equal_edges(self):
+        assert Graph(3, [(0, 1)]) != Graph(3, [(0, 2)])
+
+    def test_not_equal_sizes(self):
+        assert Graph(3, [(0, 1)]) != Graph(4, [(0, 1)])
+
+    def test_hashable(self):
+        assert len({Graph(3, [(0, 1)]), Graph(3, [(1, 0)])}) == 1
+
+    def test_repr(self):
+        assert repr(Graph(3, [(0, 1)])) == "Graph(num_nodes=3, num_edges=1)"
+
+
+@given(
+    n=st.integers(min_value=2, max_value=60),
+    data=st.data(),
+)
+@settings(max_examples=80, deadline=None)
+def test_graph_invariants_property(n, data):
+    """Degree sum equals 2E, neighbour lists are symmetric and sorted."""
+    max_edges = min(pair_count(n), 80)
+    edge_list = data.draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ).filter(lambda pair: pair[0] != pair[1]),
+            max_size=max_edges,
+        )
+    )
+    g = Graph(n, edge_list)
+    assert g.degrees().sum() == 2 * g.num_edges
+    for node in range(n):
+        nbrs = g.neighbors(node)
+        assert np.all(np.diff(nbrs) > 0), "neighbours sorted and unique"
+        for nbr in nbrs.tolist():
+            assert node in g.neighbors(nbr).tolist(), "symmetry"

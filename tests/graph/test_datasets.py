@@ -1,0 +1,68 @@
+"""Tests for repro.graph.datasets (Table II surrogates)."""
+
+import pytest
+
+from repro.graph.datasets import DATASETS, dataset_statistics, load_dataset
+from repro.graph.metrics import average_degree
+
+
+class TestRegistry:
+    def test_all_four_datasets_present(self):
+        assert set(DATASETS) == {"facebook", "enron", "astroph", "gplus"}
+
+    def test_paper_statistics_recorded(self):
+        assert DATASETS["facebook"].paper_nodes == 4039
+        assert DATASETS["facebook"].paper_edges == 88234
+        assert DATASETS["enron"].paper_nodes == 36692
+        assert DATASETS["astroph"].paper_edges == 198110
+        assert DATASETS["gplus"].paper_edges == 12238285
+
+    def test_average_degree_property(self):
+        spec = DATASETS["facebook"]
+        assert spec.paper_average_degree == pytest.approx(2 * 88234 / 4039)
+
+    def test_nodes_at_scale(self):
+        spec = DATASETS["enron"]
+        assert spec.nodes_at_scale(1.0) == 36692
+        assert spec.nodes_at_scale(0.1) == 3669
+        assert spec.nodes_at_scale(0.0001) == 64  # floor
+
+    def test_scale_out_of_range(self):
+        with pytest.raises(ValueError):
+            DATASETS["enron"].nodes_at_scale(1.5)
+
+
+class TestLoadDataset:
+    def test_facebook_full_size_by_default(self):
+        g = load_dataset("facebook")
+        assert g.num_nodes == 4039
+
+    def test_deterministic_default_load(self):
+        assert load_dataset("facebook") == load_dataset("facebook")
+
+    def test_seed_changes_surrogate(self):
+        assert load_dataset("facebook", rng=1) != load_dataset("facebook", rng=2)
+
+    @pytest.mark.parametrize("name", ["facebook", "enron", "astroph", "gplus"])
+    def test_average_degree_matches_paper(self, name):
+        g = load_dataset(name, scale=0.05)
+        spec = DATASETS[name]
+        target = min(spec.paper_average_degree, g.num_nodes / 4.0)
+        assert average_degree(g) == pytest.approx(target, rel=0.25)
+
+    def test_scale_shrinks_graph(self):
+        small = load_dataset("enron", scale=0.05)
+        bigger = load_dataset("enron", scale=0.1)
+        assert small.num_nodes < bigger.num_nodes
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("twitter")
+
+    def test_case_insensitive(self):
+        assert load_dataset("Facebook", scale=0.02).num_nodes > 0
+
+    def test_statistics_helper(self):
+        nodes, edges = dataset_statistics("facebook", scale=0.05)
+        assert nodes == max(64, round(4039 * 0.05))
+        assert edges > 0

@@ -1,0 +1,142 @@
+"""Tests for repro.graph.metrics against hand-computed and networkx values."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.adjacency import Graph
+from repro.graph.generators import powerlaw_cluster_graph
+from repro.graph.metrics import (
+    average_degree,
+    degree_centrality,
+    edge_density,
+    local_clustering_coefficients,
+    modularity,
+    modularity_from_labels,
+    triangles_per_node,
+)
+
+
+@pytest.fixture
+def small_clustered():
+    """Two triangles sharing node 2, plus a pendant node 5."""
+    return Graph(6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2), (4, 5)])
+
+
+class TestDegreeCentrality:
+    def test_values(self, small_clustered):
+        centrality = degree_centrality(small_clustered)
+        degrees = small_clustered.degrees()
+        assert np.allclose(centrality, degrees / 5.0)
+
+    def test_empty_graph(self):
+        assert degree_centrality(Graph(0)).size == 0
+
+    def test_single_node(self):
+        assert degree_centrality(Graph(1)).tolist() == [0.0]
+
+    def test_star_center_is_one(self):
+        star = Graph(5, [(0, i) for i in range(1, 5)])
+        assert degree_centrality(star)[0] == 1.0
+
+
+class TestTriangles:
+    def test_hand_counted(self, small_clustered):
+        triangles = triangles_per_node(small_clustered)
+        assert triangles.tolist() == [1, 1, 2, 1, 1, 0]
+
+    def test_triangle_free(self):
+        path = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        assert triangles_per_node(path).tolist() == [0, 0, 0, 0]
+
+    def test_complete_graph(self):
+        k5 = Graph(5, [(i, j) for i in range(5) for j in range(i + 1, 5)])
+        # Each node of K5 is in C(4,2) = 6 triangles.
+        assert triangles_per_node(k5).tolist() == [6] * 5
+
+    def test_matches_networkx(self):
+        g = powerlaw_cluster_graph(200, 4, 0.5, rng=0)
+        ours = triangles_per_node(g)
+        theirs = nx.triangles(g.to_networkx())
+        assert ours.tolist() == [theirs[i] for i in range(g.num_nodes)]
+
+    def test_empty(self):
+        assert triangles_per_node(Graph(0)).size == 0
+
+
+class TestClusteringCoefficients:
+    def test_hand_computed(self, small_clustered):
+        cc = local_clustering_coefficients(small_clustered)
+        # node 2 has degree 4 and 2 triangles: 2*2/(4*3) = 1/3
+        assert cc[2] == pytest.approx(1.0 / 3.0)
+        # node 0 has degree 2 and 1 triangle: 2*1/(2*1) = 1
+        assert cc[0] == pytest.approx(1.0)
+        # pendant node 5 has degree 1 -> 0 by convention
+        assert cc[5] == 0.0
+
+    def test_matches_networkx(self):
+        g = powerlaw_cluster_graph(200, 4, 0.5, rng=1)
+        ours = local_clustering_coefficients(g)
+        theirs = nx.clustering(g.to_networkx())
+        assert np.allclose(ours, [theirs[i] for i in range(g.num_nodes)])
+
+    def test_isolated_nodes_zero(self):
+        assert local_clustering_coefficients(Graph(3)).tolist() == [0.0, 0.0, 0.0]
+
+
+class TestDensityAndAverageDegree:
+    def test_average_degree(self, small_clustered):
+        assert average_degree(small_clustered) == pytest.approx(2 * 7 / 6)
+
+    def test_average_degree_empty(self):
+        assert average_degree(Graph(0)) == 0.0
+
+    def test_edge_density_complete(self):
+        k4 = Graph(4, [(i, j) for i in range(4) for j in range(i + 1, 4)])
+        assert edge_density(k4) == 1.0
+
+    def test_edge_density_empty(self):
+        assert edge_density(Graph(1)) == 0.0
+
+
+class TestModularity:
+    def test_matches_networkx(self):
+        g = powerlaw_cluster_graph(150, 3, 0.4, rng=2)
+        nx_graph = g.to_networkx()
+        communities = list(nx.algorithms.community.greedy_modularity_communities(nx_graph))
+        ours = modularity(g, [sorted(c) for c in communities])
+        theirs = nx.algorithms.community.modularity(nx_graph, communities)
+        assert ours == pytest.approx(theirs)
+
+    def test_single_community_zero(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        assert modularity(g, [[0, 1, 2, 3]]) == pytest.approx(0.0)
+
+    def test_rejects_overlap(self):
+        g = Graph(3, [(0, 1)])
+        with pytest.raises(ValueError, match="overlap"):
+            modularity(g, [[0, 1], [1, 2]])
+
+    def test_rejects_incomplete_cover(self):
+        g = Graph(3, [(0, 1)])
+        with pytest.raises(ValueError, match="cover"):
+            modularity(g, [[0, 1]])
+
+    def test_rejects_out_of_range(self):
+        g = Graph(3, [(0, 1)])
+        with pytest.raises(ValueError, match="out of node range"):
+            modularity(g, [[0, 1], [2, 3]])
+
+    def test_labels_variant_agrees(self):
+        g = powerlaw_cluster_graph(80, 3, 0.4, rng=3)
+        labels = np.arange(g.num_nodes) % 4
+        communities = [np.flatnonzero(labels == k).tolist() for k in range(4)]
+        assert modularity_from_labels(g, labels) == pytest.approx(modularity(g, communities))
+
+    def test_labels_shape_checked(self):
+        g = Graph(3, [(0, 1)])
+        with pytest.raises(ValueError, match="one entry per node"):
+            modularity_from_labels(g, np.zeros(2, dtype=np.int64))
+
+    def test_empty_graph_zero(self):
+        assert modularity_from_labels(Graph(3), np.zeros(3, dtype=np.int64)) == 0.0

@@ -1,0 +1,126 @@
+"""Failure-injection tests: malformed inputs must fail loudly or degrade
+gracefully — never corrupt estimates silently."""
+
+import numpy as np
+import pytest
+
+from repro.core.degree_attacks import DegreeMGA
+from repro.core.threat_model import AttackerKnowledge, ThreatModel
+from repro.defenses.degree_consistency import DegreeConsistencyDefense
+from repro.defenses.frequent_itemset import FrequentItemsetDefense
+from repro.graph.adjacency import Graph
+from repro.graph.generators import powerlaw_cluster_graph
+from repro.protocols.base import CollectedReports, FakeReport
+from repro.protocols.lfgdpr import LFGDPRProtocol
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_cluster_graph(120, 3, 0.5, rng=0)
+
+
+@pytest.fixture(scope="module")
+def protocol():
+    return LFGDPRProtocol(epsilon=4.0)
+
+
+class TestMalformedOverrides:
+    def test_negative_fake_id(self, graph, protocol):
+        overrides = {-1: FakeReport(claimed_neighbors=[0], reported_degree=1.0)}
+        with pytest.raises(ValueError):
+            protocol.collect(graph, rng=0, overrides=overrides)
+
+    def test_claim_beyond_graph(self, graph, protocol):
+        overrides = {0: FakeReport(claimed_neighbors=[10_000], reported_degree=1.0)}
+        with pytest.raises(ValueError, match="out-of-range"):
+            protocol.collect(graph, rng=0, overrides=overrides)
+
+    def test_nan_degree_propagates_visibly(self, graph, protocol):
+        """A NaN degree must show up as NaN for that user, not poison others."""
+        overrides = {0: FakeReport(claimed_neighbors=[1], reported_degree=float("nan"))}
+        reports = protocol.collect(graph, rng=0, overrides=overrides)
+        assert np.isnan(reports.reported_degrees[0])
+        assert np.all(np.isfinite(reports.reported_degrees[1:]))
+
+    def test_extreme_degree_value_kept_verbatim(self, graph, protocol):
+        overrides = {0: FakeReport(claimed_neighbors=[1], reported_degree=1e18)}
+        reports = protocol.collect(graph, rng=0, overrides=overrides)
+        assert reports.reported_degrees[0] == 1e18
+
+
+class TestMalformedReports:
+    def test_mismatched_degree_vector_rejected_at_construction(self, graph, protocol):
+        reports = protocol.collect(graph, rng=0)
+        with pytest.raises(ValueError, match="one report per user"):
+            CollectedReports(
+                perturbed_graph=reports.perturbed_graph,
+                reported_degrees=reports.reported_degrees[:10],
+                adjacency_epsilon=reports.adjacency_epsilon,
+                degree_epsilon=reports.degree_epsilon,
+            )
+
+    def test_defense_on_empty_graph_reports(self):
+        reports = CollectedReports(
+            perturbed_graph=Graph(10),
+            reported_degrees=np.zeros(10),
+            adjacency_epsilon=2.0,
+            degree_epsilon=2.0,
+        )
+        # Nothing to co-occur: no one should be flagged by Detect1.
+        assert FrequentItemsetDefense(threshold=10).detect(reports).size == 0
+
+    def test_detect2_with_all_zero_degrees(self):
+        reports = CollectedReports(
+            perturbed_graph=Graph(10),
+            reported_degrees=np.zeros(10),
+            adjacency_epsilon=2.0,
+            degree_epsilon=2.0,
+        )
+        flagged = DegreeConsistencyDefense().detect(reports)
+        assert flagged.size == 0
+
+
+class TestDegenerateThreatModels:
+    def test_attack_on_tiny_graph(self, protocol):
+        tiny = Graph(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)])
+        threat = ThreatModel(fake_users=[0], targets=[3], num_nodes=6)
+        knowledge = AttackerKnowledge.from_protocol(protocol, tiny)
+        overrides = DegreeMGA().craft(tiny, threat, knowledge, rng=0)
+        reports = protocol.collect(tiny, rng=0, overrides=overrides)
+        estimates = protocol.estimate_degree_centrality(reports)
+        assert np.all(np.isfinite(estimates))
+
+    def test_all_but_one_fake(self, protocol):
+        graph = Graph(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)])
+        threat = ThreatModel(fake_users=[0, 1, 2, 3, 4], targets=[5], num_nodes=6)
+        knowledge = AttackerKnowledge.from_protocol(protocol, graph)
+        overrides = DegreeMGA().craft(graph, threat, knowledge, rng=0)
+        reports = protocol.collect(graph, rng=0, overrides=overrides)
+        assert np.isfinite(protocol.estimate_degree_centrality(reports)[5])
+
+    def test_targets_cannot_be_fakes(self):
+        with pytest.raises(ValueError, match="disjoint"):
+            ThreatModel(fake_users=[1], targets=[1], num_nodes=5)
+
+
+class TestExcludedEdgeCases:
+    def test_everything_excluded(self, graph, protocol):
+        reports = protocol.collect(graph, rng=0)
+        all_excluded = CollectedReports(
+            perturbed_graph=Graph(graph.num_nodes),
+            reported_degrees=reports.reported_degrees,
+            adjacency_epsilon=reports.adjacency_epsilon,
+            degree_epsilon=reports.degree_epsilon,
+            excluded=np.arange(graph.num_nodes),
+        )
+        estimates = protocol.estimate_degree_centrality(all_excluded)
+        assert np.all(estimates == 0.0)
+
+    def test_single_excluded_rescales(self, graph, protocol):
+        from repro.defenses.base import remove_flagged_pairs
+
+        reports = protocol.collect(graph, rng=0)
+        repaired = remove_flagged_pairs(reports, np.array([0]))
+        estimates = protocol.estimate_degree_centrality(repaired)
+        assert np.all(np.isfinite(estimates))
+        assert estimates[0] == 0.0

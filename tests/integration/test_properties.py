@@ -1,0 +1,137 @@
+"""Property-based tests over the attack/protocol interaction layer.
+
+These check structural invariants for arbitrary small graphs and threat
+models, complementing the example-based suites.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clustering_attacks import ClusteringMGA
+from repro.core.degree_attacks import DegreeMGA, DegreeRNA, DegreeRVA
+from repro.core.threat_model import AttackerKnowledge, ThreatModel
+from repro.graph.adjacency import Graph
+from repro.protocols.base import FakeReport, apply_degree_overrides, apply_overrides
+from repro.protocols.lfgdpr import LFGDPRProtocol
+from repro.utils.sparse import pair_count
+
+
+@st.composite
+def graph_and_threat(draw):
+    """A random small graph plus a valid threat model on it."""
+    n = draw(st.integers(min_value=8, max_value=40))
+    max_edges = min(pair_count(n), 60)
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ).filter(lambda pair: pair[0] != pair[1]),
+            max_size=max_edges,
+        )
+    )
+    graph = Graph(n, edges)
+    node_ids = list(range(n))
+    num_fake = draw(st.integers(min_value=1, max_value=max(1, n // 4)))
+    num_targets = draw(st.integers(min_value=1, max_value=max(1, n // 4)))
+    permutation = draw(st.permutations(node_ids))
+    threat = ThreatModel(
+        fake_users=permutation[:num_fake],
+        targets=permutation[num_fake : num_fake + num_targets],
+        num_nodes=n,
+    )
+    return graph, threat
+
+
+ATTACK_FACTORIES = [DegreeRVA, DegreeRNA, DegreeMGA, ClusteringMGA]
+
+
+class TestCraftingInvariants:
+    @given(data=graph_and_threat(), seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=40, deadline=None)
+    def test_reports_always_valid(self, data, seed):
+        """Every attack produces one structurally valid report per fake user."""
+        graph, threat = data
+        protocol = LFGDPRProtocol(epsilon=4.0)
+        knowledge = AttackerKnowledge.from_protocol(protocol, graph)
+        for factory in ATTACK_FACTORIES:
+            overrides = factory().craft(graph, threat, knowledge, rng=seed)
+            assert sorted(overrides) == threat.fake_users.tolist()
+            for fake, report in overrides.items():
+                claims = report.claimed_neighbors
+                assert fake not in claims
+                assert np.unique(claims).size == claims.size
+                if claims.size:
+                    assert claims.min() >= 0 and claims.max() < threat.num_nodes
+
+    @given(data=graph_and_threat(), seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=25, deadline=None)
+    def test_collection_with_any_attack_is_well_formed(self, data, seed):
+        graph, threat = data
+        protocol = LFGDPRProtocol(epsilon=4.0)
+        knowledge = AttackerKnowledge.from_protocol(protocol, graph)
+        overrides = DegreeMGA().craft(graph, threat, knowledge, rng=seed)
+        reports = protocol.collect(graph, seed, overrides=overrides)
+        assert reports.num_nodes == graph.num_nodes
+        degrees = reports.perturbed_graph.degrees()
+        assert degrees.sum() == 2 * reports.perturbed_graph.num_edges
+
+
+class TestOverrideInvariants:
+    @given(
+        n=st.integers(min_value=4, max_value=30),
+        data=st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_replace_mode_owns_exactly_its_pairs(self, n, data):
+        """After apply_overrides, a replace-mode user's neighbourhood equals
+        its claims and nothing else changed."""
+        max_edges = min(pair_count(n), 40)
+        edges = data.draw(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=n - 1),
+                    st.integers(min_value=0, max_value=n - 1),
+                ).filter(lambda pair: pair[0] != pair[1]),
+                max_size=max_edges,
+            )
+        )
+        graph = Graph(n, edges)
+        fake = data.draw(st.integers(min_value=0, max_value=n - 1))
+        claims = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1).filter(lambda v: v != fake),
+                max_size=5,
+            )
+        )
+        overrides = {fake: FakeReport(claimed_neighbors=claims, reported_degree=1.0)}
+        result, overridden = apply_overrides(graph, overrides)
+        assert overridden.tolist() == [fake]
+        assert sorted(result.neighbors(fake).tolist()) == sorted(set(claims))
+        # Pairs not touching the fake are identical.
+        others = [u for u in range(n) if u != fake]
+        for u in others:
+            expected = [v for v in graph.neighbors(u).tolist() if v != fake]
+            actual = [v for v in result.neighbors(u).tolist() if v != fake]
+            assert expected == actual
+
+    @given(
+        degrees=st.lists(st.floats(0, 100, allow_nan=False), min_size=3, max_size=20),
+        delta=st.floats(-5, 5, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_augment_degree_shift(self, degrees, delta):
+        noisy = np.array(degrees)
+        overrides = {
+            1: FakeReport(
+                claimed_neighbors=np.empty(0, dtype=np.int64),
+                reported_degree=0.0,
+                augment=True,
+                degree_delta=delta,
+            )
+        }
+        result = apply_degree_overrides(noisy, overrides)
+        assert result[1] == pytest.approx(noisy[1] + delta)
+        assert np.array_equal(np.delete(result, 1), np.delete(noisy, 1))

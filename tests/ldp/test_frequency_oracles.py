@@ -1,0 +1,161 @@
+"""Tests for the kRR / OUE / OLH frequency oracles."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ldp.frequency_oracles import KRR, OLH, OUE
+
+
+def make_values(rng, domain_size, num_users, skew_item=0, skew_fraction=0.3):
+    """Synthetic user values with one heavy item."""
+    values = rng.integers(0, domain_size, size=num_users)
+    heavy = rng.random(num_users) < skew_fraction
+    values[heavy] = skew_item
+    return values
+
+
+@pytest.fixture(params=[KRR, OUE, OLH], ids=["krr", "oue", "olh"])
+def oracle(request):
+    return request.param(domain_size=20, epsilon=2.0)
+
+
+class TestCommonInterface:
+    def test_estimates_sum_near_one(self, oracle):
+        rng = np.random.default_rng(0)
+        values = make_values(rng, 20, 20_000)
+        reports = oracle.perturb(values, rng=rng)
+        estimates = oracle.estimate_frequencies(reports)
+        assert estimates.sum() == pytest.approx(1.0, abs=0.1)
+
+    def test_heavy_item_recovered(self, oracle):
+        rng = np.random.default_rng(1)
+        values = make_values(rng, 20, 20_000, skew_item=7, skew_fraction=0.4)
+        true_freq = np.bincount(values, minlength=20) / values.size
+        reports = oracle.perturb(values, rng=rng)
+        estimates = oracle.estimate_frequencies(reports)
+        assert np.argmax(estimates) == 7
+        assert estimates[7] == pytest.approx(true_freq[7], abs=0.05)
+
+    def test_unbiasedness(self, oracle):
+        rng = np.random.default_rng(2)
+        values = make_values(rng, 20, 5_000, skew_item=3)
+        true_freq = np.bincount(values, minlength=20) / values.size
+        estimates = np.mean(
+            [
+                oracle.estimate_frequencies(oracle.perturb(values, rng=rng))
+                for _ in range(20)
+            ],
+            axis=0,
+        )
+        assert np.allclose(estimates, true_freq, atol=0.02)
+
+    def test_p_greater_than_q(self, oracle):
+        assert oracle.support_probability_true > oracle.support_probability_false
+
+    def test_rejects_out_of_domain(self, oracle):
+        with pytest.raises(ValueError, match="domain"):
+            oracle.perturb(np.array([20]), rng=0)
+
+    def test_rejects_empty_estimate(self, oracle):
+        reports = oracle.perturb(np.array([0, 1]), rng=0)
+        with pytest.raises(ValueError, match="zero reports"):
+            oracle.estimate_frequencies(reports[:0])
+
+    def test_deterministic(self, oracle):
+        values = np.arange(20)
+        a = oracle.perturb(values, rng=9)
+        b = oracle.perturb(values, rng=9)
+        assert np.array_equal(a, b)
+
+
+class TestKRR:
+    def test_probabilities(self):
+        oracle = KRR(domain_size=10, epsilon=1.0)
+        exp = math.exp(1.0)
+        assert oracle.support_probability_true == pytest.approx(exp / (exp + 9))
+        assert oracle.support_probability_false == pytest.approx(1 / (exp + 9))
+
+    def test_keep_rate(self):
+        oracle = KRR(domain_size=5, epsilon=2.0)
+        rng = np.random.default_rng(0)
+        values = np.full(50_000, 2)
+        reports = oracle.perturb(values, rng=rng)
+        assert (reports == 2).mean() == pytest.approx(
+            oracle.support_probability_true, rel=0.02
+        )
+
+    def test_other_values_uniform(self):
+        oracle = KRR(domain_size=4, epsilon=1.0)
+        rng = np.random.default_rng(1)
+        reports = oracle.perturb(np.full(60_000, 0), rng=rng)
+        other_counts = np.bincount(reports, minlength=4)[1:]
+        assert np.all(np.abs(other_counts - other_counts.mean()) < 0.1 * other_counts.mean())
+
+    def test_support_counts(self):
+        oracle = KRR(domain_size=4, epsilon=1.0)
+        counts = oracle.support_counts(np.array([0, 0, 3, 2]))
+        assert counts.tolist() == [2, 0, 1, 1]
+
+    def test_domain_too_small(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            KRR(domain_size=1, epsilon=1.0)
+
+
+class TestOUE:
+    def test_report_shape(self):
+        oracle = OUE(domain_size=8, epsilon=1.0)
+        reports = oracle.perturb(np.arange(8), rng=0)
+        assert reports.shape == (8, 8)
+
+    def test_bit_probabilities(self):
+        oracle = OUE(domain_size=2, epsilon=2.0)
+        rng = np.random.default_rng(0)
+        reports = oracle.perturb(np.zeros(50_000, dtype=np.int64), rng=rng)
+        assert reports[:, 0].mean() == pytest.approx(0.5, rel=0.03)
+        assert reports[:, 1].mean() == pytest.approx(
+            oracle.support_probability_false, rel=0.05
+        )
+
+    def test_support_counts_shape_checked(self):
+        oracle = OUE(domain_size=4, epsilon=1.0)
+        with pytest.raises(ValueError, match="matrices"):
+            oracle.support_counts(np.zeros((3, 5)))
+
+
+class TestOLH:
+    def test_bucket_count(self):
+        oracle = OLH(domain_size=100, epsilon=math.log(3))
+        assert oracle.num_buckets == 4  # round(3) + 1
+
+    def test_report_shape(self):
+        oracle = OLH(domain_size=10, epsilon=1.0)
+        reports = oracle.perturb(np.arange(10), rng=0)
+        assert reports.shape == (10, 3)
+
+    def test_reported_bucket_in_range(self):
+        oracle = OLH(domain_size=10, epsilon=1.0)
+        reports = oracle.perturb(np.arange(10), rng=0)
+        assert np.all(reports[:, 2] >= 0)
+        assert np.all(reports[:, 2] < oracle.num_buckets)
+
+    def test_hash_deterministic(self):
+        oracle = OLH(domain_size=10, epsilon=1.0)
+        a = np.array([12345])
+        b = np.array([678])
+        items = np.arange(10)
+        assert np.array_equal(oracle.hash_items(a, b, items), oracle.hash_items(a, b, items))
+
+    def test_support_counts_shape_checked(self):
+        oracle = OLH(domain_size=4, epsilon=1.0)
+        with pytest.raises(ValueError, match="arrays"):
+            oracle.support_counts(np.zeros((3, 2)))
+
+    def test_false_support_rate_is_one_over_g(self):
+        oracle = OLH(domain_size=50, epsilon=1.0)
+        rng = np.random.default_rng(3)
+        # Users all hold item 0; count how often they support unheld item 1.
+        reports = oracle.perturb(np.zeros(30_000, dtype=np.int64), rng=rng)
+        supports = oracle.hash_items(reports[:, 0], reports[:, 1], np.int64(1)) == reports[:, 2]
+        assert supports.mean() == pytest.approx(1.0 / oracle.num_buckets, rel=0.05)

@@ -1,0 +1,109 @@
+"""Tests for LDP degree-distribution estimation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import powerlaw_cluster_graph
+from repro.protocols.base import CollectedReports, FakeReport
+from repro.protocols.degree_distribution import (
+    degree_histogram,
+    estimate_degree_distribution,
+    histogram_distance,
+)
+from repro.protocols.lfgdpr import LFGDPRProtocol
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_cluster_graph(300, 4, 0.5, rng=0)
+
+
+class TestDegreeHistogram:
+    def test_normalised(self):
+        hist = degree_histogram(np.array([0.0, 1.0, 5.0, 5.0]), 10, bins=5)
+        assert hist.sum() == pytest.approx(1.0)
+
+    def test_clipping(self):
+        hist = degree_histogram(np.array([-10.0, 100.0]), 10, bins=3)
+        assert hist[0] == pytest.approx(0.5)
+        assert hist[-1] == pytest.approx(0.5)
+
+    def test_empty_degrades_to_uniform(self):
+        hist = degree_histogram(np.array([]), 10, bins=4)
+        assert np.allclose(hist, 0.25)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            degree_histogram(np.array([1.0]), 10, bins=0)
+        with pytest.raises(ValueError):
+            degree_histogram(np.array([1.0]), 1, bins=4)
+
+    @given(
+        degrees=st.lists(st.floats(-50, 500, allow_nan=False), min_size=1, max_size=60),
+        bins=st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_always_a_distribution(self, degrees, bins):
+        hist = degree_histogram(np.array(degrees), 100, bins=bins)
+        assert hist.shape == (bins,)
+        assert np.all(hist >= 0)
+        assert hist.sum() == pytest.approx(1.0)
+
+
+class TestEstimateDegreeDistribution:
+    def test_tracks_truth_at_high_epsilon(self, graph):
+        protocol = LFGDPRProtocol(epsilon=40.0)
+        reports = protocol.collect(graph, rng=0)
+        estimated = estimate_degree_distribution(reports, bins=16)
+        truth = degree_histogram(graph.degrees().astype(float), graph.num_nodes, 16)
+        assert histogram_distance(estimated, truth) < 0.05
+
+    def test_excluded_users_dropped(self, graph):
+        protocol = LFGDPRProtocol(epsilon=4.0)
+        reports = protocol.collect(graph, rng=0)
+        excluded = CollectedReports(
+            perturbed_graph=reports.perturbed_graph,
+            reported_degrees=reports.reported_degrees,
+            adjacency_epsilon=reports.adjacency_epsilon,
+            degree_epsilon=reports.degree_epsilon,
+            excluded=np.array([0, 1, 2]),
+        )
+        full = estimate_degree_distribution(reports, bins=8)
+        reduced = estimate_degree_distribution(excluded, bins=8)
+        assert not np.allclose(full, reduced)
+
+    def test_attack_distorts_distribution(self, graph):
+        """Fake users reporting absurd degrees visibly shift the histogram."""
+        protocol = LFGDPRProtocol(epsilon=4.0)
+        fakes = np.arange(30)
+        overrides = {
+            int(fake): FakeReport(
+                claimed_neighbors=np.array([100]), reported_degree=float(graph.num_nodes - 1)
+            )
+            for fake in fakes
+        }
+        clean = protocol.collect(graph, rng=5)
+        attacked = protocol.collect(graph, rng=5, overrides=overrides)
+        distance = histogram_distance(
+            estimate_degree_distribution(clean), estimate_degree_distribution(attacked)
+        )
+        assert distance > 0.1
+
+
+class TestHistogramDistance:
+    def test_zero_for_identical(self):
+        hist = np.array([0.5, 0.5])
+        assert histogram_distance(hist, hist) == 0.0
+
+    def test_l1_of_disjoint(self):
+        assert histogram_distance(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == 2.0
+
+    def test_norm_parameter(self):
+        a, b = np.array([1.0, 0.0]), np.array([0.0, 1.0])
+        assert histogram_distance(a, b, norm=2.0) == pytest.approx(np.sqrt(2))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="bins"):
+            histogram_distance(np.zeros(3), np.zeros(4))

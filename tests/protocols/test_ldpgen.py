@@ -1,0 +1,96 @@
+"""Tests for the LDPGen protocol."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import powerlaw_cluster_graph
+from repro.graph.metrics import average_degree
+from repro.protocols.base import FakeReport
+from repro.protocols.ldpgen import LDPGenProtocol, _sample_bipartite_edges
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_cluster_graph(250, 5, 0.6, rng=0)
+
+
+class TestSampleBipartiteEdges:
+    def test_count_and_distinctness(self):
+        rng = np.random.default_rng(0)
+        group_a = np.array([0, 1, 2])
+        group_b = np.array([10, 11, 12, 13])
+        edges = _sample_bipartite_edges(group_a, group_b, 5, rng)
+        assert len(edges) == 5
+        assert len(set(edges)) == 5
+        for u, v in edges:
+            assert u in group_a and v in group_b
+
+    def test_saturation_returns_all(self):
+        rng = np.random.default_rng(1)
+        edges = _sample_bipartite_edges(np.array([0, 1]), np.array([2, 3]), 100, rng)
+        assert sorted(edges) == [(0, 2), (0, 3), (1, 2), (1, 3)]
+
+
+class TestCollection:
+    def test_synthetic_graph_size(self, graph):
+        protocol = LDPGenProtocol(epsilon=4.0)
+        reports = protocol.collect(graph, rng=0)
+        assert reports.perturbed_graph.num_nodes == graph.num_nodes
+
+    def test_deterministic(self, graph):
+        protocol = LDPGenProtocol(epsilon=4.0)
+        a = protocol.collect(graph, rng=5)
+        b = protocol.collect(graph, rng=5)
+        assert a.perturbed_graph == b.perturbed_graph
+        assert np.array_equal(a.reported_degrees, b.reported_degrees)
+
+    def test_synthetic_density_tracks_original(self, graph):
+        protocol = LDPGenProtocol(epsilon=8.0)
+        densities = [
+            average_degree(protocol.collect(graph, rng=seed).perturbed_graph)
+            for seed in range(5)
+        ]
+        assert np.mean(densities) == pytest.approx(average_degree(graph), rel=0.35)
+
+    def test_phase_epsilon_split(self):
+        protocol = LDPGenProtocol(epsilon=4.0)
+        assert protocol.phase_epsilon == pytest.approx(2.0)
+
+    def test_overrides_recorded_and_used(self, graph):
+        protocol = LDPGenProtocol(epsilon=4.0)
+        overrides = {
+            3: FakeReport(claimed_neighbors=np.arange(10, 40), reported_degree=30.0)
+        }
+        reports = protocol.collect(graph, rng=0, overrides=overrides)
+        assert reports.overridden.tolist() == [3]
+        clean = protocol.collect(graph, rng=0)
+        # A fake user claiming 30 edges must change the synthetic graph.
+        assert reports.perturbed_graph != clean.perturbed_graph
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            LDPGenProtocol(epsilon=0.0)
+        with pytest.raises(ValueError):
+            LDPGenProtocol(epsilon=1.0, initial_groups=0)
+
+
+class TestEstimation:
+    def test_degree_centrality_shape_and_range(self, graph):
+        protocol = LDPGenProtocol(epsilon=4.0)
+        reports = protocol.collect(graph, rng=0)
+        centrality = protocol.estimate_degree_centrality(reports)
+        assert centrality.shape == (graph.num_nodes,)
+        assert np.all(centrality >= 0) and np.all(centrality <= 1)
+
+    def test_clustering_in_unit_interval(self, graph):
+        protocol = LDPGenProtocol(epsilon=4.0)
+        reports = protocol.collect(graph, rng=0)
+        estimates = protocol.estimate_clustering_coefficient(reports)
+        assert np.all((estimates >= 0) & (estimates <= 1))
+
+    def test_modularity_finite(self, graph):
+        protocol = LDPGenProtocol(epsilon=4.0)
+        reports = protocol.collect(graph, rng=0)
+        labels = (np.arange(graph.num_nodes) // 50).astype(np.int64)
+        value = protocol.estimate_modularity(reports, labels)
+        assert -1.0 <= value <= 1.0

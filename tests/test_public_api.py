@@ -1,0 +1,101 @@
+"""API-surface tests: the documented public interface must stay importable.
+
+These tests pin the names README and the examples rely on; renaming or
+dropping any of them is a breaking change that must be deliberate.
+"""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+TOP_LEVEL_API = [
+    "Attack",
+    "AttackerKnowledge",
+    "AttackOutcome",
+    "ClusteringMGA",
+    "ClusteringRNA",
+    "ClusteringRVA",
+    "DegreeMGA",
+    "DegreeRNA",
+    "DegreeRVA",
+    "FrequencyMGA",
+    "FrequencyRIA",
+    "FrequencyRPA",
+    "ThreatModel",
+    "average_gain",
+    "evaluate_attack",
+    "evaluate_frequency_attack",
+    "theorem1_degree_gain",
+    "theorem2_clustering_gain",
+    "Graph",
+    "load_dataset",
+    "KRR",
+    "OLH",
+    "OUE",
+    "FakeReport",
+    "LDPGenProtocol",
+    "LFGDPRProtocol",
+]
+
+SUBPACKAGES = [
+    "repro.graph",
+    "repro.ldp",
+    "repro.protocols",
+    "repro.core",
+    "repro.defenses",
+    "repro.experiments",
+    "repro.utils",
+]
+
+
+class TestTopLevel:
+    @pytest.mark.parametrize("name", TOP_LEVEL_API)
+    def test_exported(self, name):
+        assert hasattr(repro, name), f"repro.{name} missing from public API"
+        assert name in repro.__all__
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_module_docstring_mentions_paper(self):
+        assert "Poisoning" in repro.__doc__
+
+
+class TestSubpackages:
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_importable_with_all(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} needs a docstring"
+        assert hasattr(module, "__all__"), f"{module_name} needs __all__"
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module_name}.{name} in __all__ but missing"
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_public_callables_documented(self, module_name):
+        """Every public class/function reachable from a subpackage's __all__
+        carries a docstring."""
+        module = importlib.import_module(module_name)
+        undocumented = []
+        for name in module.__all__:
+            member = getattr(module, name)
+            if inspect.isclass(member) or inspect.isfunction(member):
+                if not inspect.getdoc(member):
+                    undocumented.append(f"{module_name}.{name}")
+        assert not undocumented, f"missing docstrings: {undocumented}"
+
+    def test_public_methods_documented(self):
+        """Public methods of the flagship classes are documented."""
+        from repro import Graph, LFGDPRProtocol, ThreatModel
+
+        for cls in (Graph, LFGDPRProtocol, ThreatModel):
+            for name, member in inspect.getmembers(cls):
+                if name.startswith("_"):
+                    continue
+                if inspect.isfunction(member) or isinstance(member, property):
+                    target = member.fget if isinstance(member, property) else member
+                    assert inspect.getdoc(target), f"{cls.__name__}.{name} undocumented"

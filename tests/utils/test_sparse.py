@@ -1,0 +1,120 @@
+"""Tests for repro.utils.sparse, including hypothesis round-trip properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.sparse import (
+    decode_pairs,
+    encode_pairs,
+    pair_count,
+    sample_pairs_excluding,
+)
+
+
+class TestPairCount:
+    @pytest.mark.parametrize("n,expected", [(0, 0), (1, 0), (2, 1), (4, 6), (100, 4950)])
+    def test_values(self, n, expected):
+        assert pair_count(n) == expected
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            pair_count(-1)
+
+
+class TestEncodeDecode:
+    def test_known_codes(self):
+        # For n=4 the upper-triangle row-major order is
+        # (0,1)=0 (0,2)=1 (0,3)=2 (1,2)=3 (1,3)=4 (2,3)=5.
+        rows = np.array([0, 0, 0, 1, 1, 2])
+        cols = np.array([1, 2, 3, 2, 3, 3])
+        codes = encode_pairs(rows, cols, 4)
+        assert codes.tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_orientation_invariant(self):
+        a = encode_pairs(np.array([2]), np.array([5]), 10)
+        b = encode_pairs(np.array([5]), np.array([2]), 10)
+        assert a[0] == b[0]
+
+    def test_rejects_self_loops(self):
+        with pytest.raises(ValueError, match="self-loops"):
+            encode_pairs(np.array([1]), np.array([1]), 4)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            encode_pairs(np.array([0]), np.array([4]), 4)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="same shape"):
+            encode_pairs(np.array([0, 1]), np.array([1]), 4)
+
+    def test_decode_rejects_bad_codes(self):
+        with pytest.raises(ValueError, match="out of range"):
+            decode_pairs(np.array([6]), 4)
+
+    @given(
+        n=st.integers(min_value=2, max_value=2000),
+        data=st.data(),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_round_trip_property(self, n, data):
+        total = pair_count(n)
+        codes = data.draw(
+            st.lists(st.integers(min_value=0, max_value=total - 1), min_size=1, max_size=50)
+        )
+        codes = np.array(codes, dtype=np.int64)
+        rows, cols = decode_pairs(codes, n)
+        assert np.all(rows < cols)
+        assert np.all(rows >= 0) and np.all(cols < n)
+        recoded = encode_pairs(rows, cols, n)
+        assert np.array_equal(recoded, codes)
+
+    def test_full_round_trip_small_n(self):
+        for n in range(2, 30):
+            codes = np.arange(pair_count(n), dtype=np.int64)
+            rows, cols = decode_pairs(codes, n)
+            assert np.array_equal(encode_pairs(rows, cols, n), codes)
+
+
+class TestSamplePairsExcluding:
+    def test_avoids_forbidden(self):
+        rng = np.random.default_rng(0)
+        forbidden = np.array([0, 1, 2, 3], dtype=np.int64)
+        sampled = sample_pairs_excluding(10, 20, forbidden, rng)
+        assert sampled.size == 20
+        assert np.intersect1d(sampled, forbidden).size == 0
+
+    def test_no_duplicates(self):
+        rng = np.random.default_rng(1)
+        sampled = sample_pairs_excluding(50, 500, np.empty(0, dtype=np.int64), rng)
+        assert np.unique(sampled).size == 500
+
+    def test_exhaustive_sampling(self):
+        # Ask for every available pair; must succeed exactly.
+        rng = np.random.default_rng(2)
+        forbidden = np.array([0], dtype=np.int64)
+        total = pair_count(6)
+        sampled = sample_pairs_excluding(6, total - 1, forbidden, rng)
+        assert np.unique(sampled).size == total - 1
+        assert 0 not in sampled
+
+    def test_too_many_requested(self):
+        rng = np.random.default_rng(3)
+        with pytest.raises(ValueError, match="cannot sample"):
+            sample_pairs_excluding(4, 7, np.empty(0, dtype=np.int64), rng)
+
+    def test_zero_count(self):
+        rng = np.random.default_rng(4)
+        out = sample_pairs_excluding(10, 0, np.empty(0, dtype=np.int64), rng)
+        assert out.size == 0
+
+    def test_uniformity_rough(self):
+        # Each pair of K(5)=10 should appear ~equally often over many draws.
+        rng = np.random.default_rng(5)
+        counts = np.zeros(10)
+        for _ in range(2000):
+            picked = sample_pairs_excluding(5, 3, np.empty(0, dtype=np.int64), rng)
+            counts[picked] += 1
+        expected = 2000 * 3 / 10
+        assert np.all(np.abs(counts - expected) < expected * 0.25)
