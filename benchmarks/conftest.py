@@ -4,16 +4,26 @@ Every bench regenerates one table/figure of the paper on laptop-scale
 surrogates and both prints the resulting series (run pytest with ``-s`` to
 see them inline) and writes them to ``benchmarks/results/<name>.txt``.
 
+Each session also appends one record of per-figure wall-clock times to
+``benchmarks/BENCH_timings.json``, building a performance trajectory across
+commits so perf regressions (and wins) are measurable against a baseline.
+
 Environment knobs:
 
 * ``REPRO_BENCH_SCALE`` — multiplier on the per-dataset bench scales
   (default 1.0; raise toward the dataset defaults for slower, larger runs).
 * ``REPRO_BENCH_TRIALS`` — threat-model draws per data point (default 2).
+* ``REPRO_BENCH_CACHE`` — set to ``1`` to let benches reuse the engine's
+  result cache (off by default so timings measure real computation).
+* ``REPRO_BENCH_JOBS`` — worker processes per figure (default 1).
 """
 
 from __future__ import annotations
 
+import json
 import os
+import time
+from collections import defaultdict
 from pathlib import Path
 
 import pytest
@@ -37,10 +47,21 @@ def bench_trials() -> int:
 
 
 def bench_config(dataset: str, **overrides) -> ExperimentConfig:
-    """Benchmark-sized experiment config for one dataset."""
+    """Benchmark-sized experiment config for one dataset.
+
+    Caching is off by default so recorded wall-clock times measure real
+    trial computation, not cache reads; ``REPRO_BENCH_CACHE=1`` re-enables
+    it for iterative figure work.
+    """
     multiplier = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
     scale = min(1.0, BENCH_SCALES[dataset] * multiplier)
-    params = dict(trials=bench_trials(), seed=0, scale=scale)
+    params = dict(
+        trials=bench_trials(),
+        seed=0,
+        scale=scale,
+        cache=os.environ.get("REPRO_BENCH_CACHE", "0") == "1",
+        jobs=int(os.environ.get("REPRO_BENCH_JOBS", "1")),
+    )
     params.update(overrides)
     return ExperimentConfig(**params)
 
@@ -62,3 +83,49 @@ def fresh_results_dir():
     for stale in RESULTS_DIR.glob("*.txt"):
         stale.unlink()
     yield
+
+
+# ---------------------------------------------------------------------------
+# Wall-clock trajectory: benchmarks/BENCH_timings.json
+# ---------------------------------------------------------------------------
+TIMINGS_PATH = Path(__file__).parent / "BENCH_timings.json"
+
+#: Seconds spent in test calls of this session, keyed by bench module name.
+_figure_timings: dict = defaultdict(float)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Accumulate per-figure wall clock (setup/teardown excluded)."""
+    start = time.perf_counter()
+    yield
+    _figure_timings[item.module.__name__] += time.perf_counter() - start
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Append this session's per-figure timings to the trajectory file."""
+    if not _figure_timings:
+        return
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "scale_multiplier": float(os.environ.get("REPRO_BENCH_SCALE", "1.0")),
+        "trials": bench_trials(),
+        "jobs": int(os.environ.get("REPRO_BENCH_JOBS", "1")),
+        "cache": os.environ.get("REPRO_BENCH_CACHE", "0") == "1",
+        "figures": {name: round(seconds, 3) for name, seconds in sorted(_figure_timings.items())},
+    }
+    trajectory = []
+    try:
+        trajectory = json.loads(TIMINGS_PATH.read_text(encoding="utf-8"))
+        if not isinstance(trajectory, list):
+            trajectory = []
+    except OSError:
+        pass
+    except json.JSONDecodeError:
+        # Never silently erase the accumulated history: set the damaged
+        # file aside so it can be recovered by hand.
+        TIMINGS_PATH.replace(TIMINGS_PATH.with_suffix(".json.corrupt"))
+    trajectory.append(record)
+    scratch = TIMINGS_PATH.with_suffix(".json.tmp")
+    scratch.write_text(json.dumps(trajectory, indent=2) + "\n", encoding="utf-8")
+    scratch.replace(TIMINGS_PATH)

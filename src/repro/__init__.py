@@ -40,6 +40,15 @@ from repro.core import (
     theorem1_degree_gain,
     theorem2_clustering_gain,
 )
+from repro.engine import (
+    ATTACKS,
+    DEFENSES,
+    PROTOCOLS,
+    ParallelExecutor,
+    ResultCache,
+    SerialExecutor,
+    TrialTask,
+)
 from repro.graph import Graph, load_dataset
 from repro.ldp import KRR, OLH, OUE
 from repro.protocols import FakeReport, LDPGenProtocol, LFGDPRProtocol
@@ -47,6 +56,13 @@ from repro.protocols import FakeReport, LDPGenProtocol, LFGDPRProtocol
 __version__ = "1.0.0"
 
 __all__ = [
+    "ATTACKS",
+    "DEFENSES",
+    "PROTOCOLS",
+    "ParallelExecutor",
+    "ResultCache",
+    "SerialExecutor",
+    "TrialTask",
     "Attack",
     "AttackerKnowledge",
     "AttackOutcome",

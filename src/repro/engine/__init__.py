@@ -1,0 +1,62 @@
+"""Task-graph experiment execution engine.
+
+The engine turns an experiment sweep into a flat list of declarative
+:class:`~repro.engine.tasks.TrialTask` specs — one per (parameter value ×
+attack × trial) — and executes them through pluggable
+:class:`~repro.engine.executors.Executor` backends with an on-disk result
+cache in front:
+
+* :mod:`repro.engine.registry` — string-keyed registries of attacks,
+  protocols and defenses, so every scenario is addressable by name from
+  configs, task specs and the CLI;
+* :mod:`repro.engine.tasks` — the frozen task spec and its stable content
+  hash (the cache key);
+* :mod:`repro.engine.cache` — the on-disk JSON result cache;
+* :mod:`repro.engine.executors` — serial and process-pool execution plus
+  :func:`~repro.engine.executors.run_tasks`, the cache-aware orchestrator.
+
+Determinism is the design invariant: every task carries its own derived
+seed, so the result of a task is a pure function of its spec and the graph.
+Serial and parallel executions are bit-identical, and cached results are
+indistinguishable from recomputed ones.
+"""
+
+from repro.engine.cache import CACHE_VERSION, NullCache, ResultCache, default_cache_dir
+from repro.engine.executors import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    cache_for,
+    execute_task,
+    executor_for,
+    run_tasks,
+)
+from repro.engine.registry import ATTACKS, DEFENSES, PROTOCOLS, Registry
+from repro.engine.tasks import (
+    TrialTask,
+    derive_trial_seed,
+    graph_fingerprint,
+    labels_fingerprint,
+)
+
+__all__ = [
+    "ATTACKS",
+    "DEFENSES",
+    "PROTOCOLS",
+    "Registry",
+    "TrialTask",
+    "derive_trial_seed",
+    "graph_fingerprint",
+    "labels_fingerprint",
+    "CACHE_VERSION",
+    "NullCache",
+    "ResultCache",
+    "default_cache_dir",
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "cache_for",
+    "execute_task",
+    "executor_for",
+    "run_tasks",
+]

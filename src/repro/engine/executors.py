@@ -1,0 +1,185 @@
+"""Task executors: serial, process-pool parallel, and the cache-aware driver.
+
+:func:`execute_task` is the single definition of what running a task means;
+both executors (and any test stub) go through it, so the only difference
+between backends is *where* tasks run.  Because every task carries its own
+derived seed, results are bit-identical across executors, worker counts and
+scheduling orders.
+
+:func:`run_tasks` is the orchestrator the experiment layer calls: it answers
+what it can from the cache, sends only the missing tasks to the executor,
+persists the new results and returns gains aligned with the input order.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from concurrent.futures import ProcessPoolExecutor as _ProcessPool
+from typing import Callable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.base import Attack
+from repro.core.gain import evaluate_attack
+from repro.core.threat_model import ThreatModel
+from repro.defenses.evaluation import evaluate_defended_attack
+from repro.engine.cache import NullCache, ResultCache
+from repro.engine.registry import ATTACKS, DEFENSES, PROTOCOLS
+from repro.engine.tasks import TrialTask
+from repro.graph.adjacency import Graph
+from repro.protocols.base import GraphLDPProtocol
+from repro.utils.rng import child_rng
+
+#: Either real cache flavour.
+CacheLike = Union[ResultCache, NullCache]
+
+
+def execute_task(
+    task: TrialTask,
+    graph: Graph,
+    labels: Optional[np.ndarray] = None,
+    attack_factory: Optional[Callable[[], Attack]] = None,
+    protocol_factory: Optional[Callable[[float], GraphLDPProtocol]] = None,
+) -> float:
+    """Run one trial task and return its total gain.
+
+    ``attack_factory`` / ``protocol_factory`` override the registry lookup;
+    the experiment layer passes them when a sweep uses components that are
+    not registered (such components cannot be cached or parallelised, but
+    they follow the exact same seed derivation, so results stay comparable).
+    """
+    attack = attack_factory() if attack_factory is not None else ATTACKS.create(task.attack)
+    protocol = (
+        protocol_factory(task.epsilon)
+        if protocol_factory is not None
+        else PROTOCOLS.create(task.protocol, epsilon=task.epsilon)
+    )
+    threat = ThreatModel.sample(
+        graph, task.beta, task.gamma, rng=child_rng(task.seed, "threat")
+    )
+    if task.defense:
+        defense = DEFENSES.create(task.defense, **dict(task.defense_args))
+        outcome = evaluate_defended_attack(
+            graph, protocol, attack, defense, threat,
+            metric=task.metric, rng=task.seed, labels=labels,
+        )
+    else:
+        outcome = evaluate_attack(
+            graph, protocol, attack, threat,
+            metric=task.metric, rng=task.seed, labels=labels,
+        )
+    return float(outcome.total_gain)
+
+
+class Executor(abc.ABC):
+    """Strategy for running a batch of tasks against one graph."""
+
+    @abc.abstractmethod
+    def execute(
+        self,
+        tasks: Sequence[TrialTask],
+        graph: Graph,
+        labels: Optional[np.ndarray] = None,
+    ) -> List[float]:
+        """Gains of ``tasks``, in input order."""
+
+
+class SerialExecutor(Executor):
+    """Run tasks one after another in the calling process."""
+
+    def execute(
+        self,
+        tasks: Sequence[TrialTask],
+        graph: Graph,
+        labels: Optional[np.ndarray] = None,
+    ) -> List[float]:
+        """Gains of ``tasks``, in input order."""
+        return [execute_task(task, graph, labels) for task in tasks]
+
+
+# Worker-process state, installed once per worker by the pool initializer so
+# the graph is shipped once per worker instead of once per task.
+_WORKER_GRAPH: Optional[Graph] = None
+_WORKER_LABELS: Optional[np.ndarray] = None
+
+
+def _init_worker(graph: Graph, labels: Optional[np.ndarray]) -> None:
+    global _WORKER_GRAPH, _WORKER_LABELS
+    _WORKER_GRAPH = graph
+    _WORKER_LABELS = labels
+
+
+def _run_in_worker(task: TrialTask) -> float:
+    return execute_task(task, _WORKER_GRAPH, _WORKER_LABELS)
+
+
+class ParallelExecutor(Executor):
+    """Fan tasks out over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+    Bit-identical to :class:`SerialExecutor` because tasks are self-seeded;
+    the pool only changes wall-clock time.  Falls back to in-process
+    execution for batches too small to amortise worker startup.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; defaults to the machine's CPU count.
+    """
+
+    def __init__(self, jobs: Optional[int] = None):
+        if jobs is not None and jobs < 1:
+            raise ValueError(f"jobs must be at least 1, got {jobs}")
+        self.jobs = int(jobs) if jobs is not None else (os.cpu_count() or 1)
+
+    def execute(
+        self,
+        tasks: Sequence[TrialTask],
+        graph: Graph,
+        labels: Optional[np.ndarray] = None,
+    ) -> List[float]:
+        """Gains of ``tasks``, in input order."""
+        if self.jobs == 1 or len(tasks) <= 1:
+            return SerialExecutor().execute(tasks, graph, labels)
+        workers = min(self.jobs, len(tasks))
+        chunksize = max(1, len(tasks) // (workers * 4))
+        with _ProcessPool(
+            max_workers=workers, initializer=_init_worker, initargs=(graph, labels)
+        ) as pool:
+            return list(pool.map(_run_in_worker, tasks, chunksize=chunksize))
+
+
+def executor_for(config) -> Executor:
+    """The executor implied by ``config.jobs`` (1 -> serial)."""
+    jobs = getattr(config, "jobs", 1)
+    return ParallelExecutor(jobs=jobs) if jobs > 1 else SerialExecutor()
+
+
+def cache_for(config) -> CacheLike:
+    """The cache implied by ``config.cache`` (False -> no caching)."""
+    return ResultCache() if getattr(config, "cache", False) else NullCache()
+
+
+def run_tasks(
+    tasks: Sequence[TrialTask],
+    graph: Graph,
+    labels: Optional[np.ndarray] = None,
+    executor: Optional[Executor] = None,
+    cache: Optional[CacheLike] = None,
+) -> List[float]:
+    """Execute a task batch through the cache: the engine's main entry point.
+
+    Cache hits are returned as-is; only misses reach the executor, and their
+    results are persisted before returning.  The output is aligned with
+    ``tasks`` regardless of how many entries were cached.
+    """
+    executor = executor if executor is not None else SerialExecutor()
+    cache = cache if cache is not None else NullCache()
+    gains: List[Optional[float]] = [cache.get(task) for task in tasks]
+    missing = [index for index, gain in enumerate(gains) if gain is None]
+    if missing:
+        computed = executor.execute([tasks[index] for index in missing], graph, labels)
+        for index, gain in zip(missing, computed):
+            cache.put(tasks[index], gain)
+            gains[index] = gain
+    return [float(gain) for gain in gains]

@@ -78,6 +78,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--epsilon", type=float, default=4.0, help="default privacy budget")
     parser.add_argument("--beta", type=float, default=0.05, help="fake-user fraction")
     parser.add_argument("--gamma", type=float, default=0.05, help="target fraction")
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for trial execution (results are identical "
+        "for any value; >1 uses a process pool)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every trial instead of reusing the on-disk result "
+        "cache (see REPRO_CACHE_DIR)",
+    )
     return parser
 
 
@@ -101,6 +111,7 @@ def run(argv: Optional[Sequence[str]] = None, out=None) -> int:
     config = ExperimentConfig(
         beta=args.beta, gamma=args.gamma, epsilon=args.epsilon,
         trials=args.trials, seed=args.seed, scale=args.scale,
+        jobs=args.jobs, cache=not args.no_cache,
     )
 
     if args.artifact == "table2":

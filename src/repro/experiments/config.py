@@ -34,6 +34,13 @@ class ExperimentConfig:
     scale:
         Dataset scale override (``None`` uses each dataset's default scale;
         benchmarks pass smaller values for quick runs).
+    jobs:
+        Worker processes for the execution engine; ``1`` runs serially.
+        Results are bit-identical for any value (every trial task derives
+        its own seed).
+    cache:
+        Reuse the on-disk trial-result cache (``repro.engine.cache``) so a
+        re-run only computes missing points.  Disable with ``--no-cache``.
     """
 
     beta: float = 0.05
@@ -42,12 +49,15 @@ class ExperimentConfig:
     trials: int = 3
     seed: int = 0
     scale: Optional[float] = None
+    jobs: int = 1
+    cache: bool = True
 
     def __post_init__(self):
         check_fraction(self.beta, "beta")
         check_fraction(self.gamma, "gamma")
         check_positive(self.epsilon, "epsilon")
         check_positive(self.trials, "trials")
+        check_positive(self.jobs, "jobs")
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
         """A copy with the given fields replaced."""

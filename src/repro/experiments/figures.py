@@ -9,20 +9,16 @@ shapes compare with the paper.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.base import Attack
 from repro.core.degree_attacks import DegreeMGA, DegreeRVA
 from repro.core.clustering_attacks import ClusteringMGA, ClusteringRVA
-from repro.core.threat_model import ThreatModel
-from repro.defenses.base import Defense
-from repro.defenses.degree_consistency import DegreeConsistencyDefense
-from repro.defenses.evaluation import evaluate_defended_attack
-from repro.defenses.frequent_itemset import FrequentItemsetDefense
-from repro.defenses.naive import NaiveDegreeTailsDefense, NaiveTopDegreeDefense
-from repro.core.gain import evaluate_attack
+from repro.engine.executors import cache_for, executor_for, run_tasks
+from repro.engine.registry import ATTACKS
+from repro.engine.tasks import TrialTask, derive_trial_seed, graph_fingerprint
 from repro.experiments.config import (
     BETAS,
     DATASET_NAMES,
@@ -39,7 +35,6 @@ from repro.graph.adjacency import Graph
 from repro.graph.datasets import DATASETS, load_dataset
 from repro.protocols.ldpgen import LDPGenProtocol
 from repro.protocols.lfgdpr import LFGDPRProtocol
-from repro.utils.rng import child_rng
 
 
 def _load(dataset: str, config: ExperimentConfig) -> Graph:
@@ -134,32 +129,41 @@ def fig11(dataset: str, config: ExperimentConfig = DEFAULT_CONFIG) -> SweepResul
 # ---------------------------------------------------------------------------
 # Figs. 12-13: countermeasures (Exps 7-8)
 # ---------------------------------------------------------------------------
-def _average_defended_gain(
-    graph: Graph,
-    protocol: LFGDPRProtocol,
-    attack: Attack,
-    defense: Optional[Defense],
+def _defense_trials(
+    graph_key: str,
     metric: str,
+    attack: str,
+    defense: str,
+    defense_args: tuple,
     beta: float,
-    gamma: float,
-    trials: int,
-    seed,
-) -> float:
-    """Mean (defended) gain over independent threat draws."""
-    gains = []
-    for trial in range(trials):
-        trial_seed = int(child_rng(seed, f"defense-trial-{trial}").integers(2**63 - 1))
-        threat = ThreatModel.sample(graph, beta, gamma, rng=child_rng(trial_seed, "threat"))
-        if defense is None:
-            outcome = evaluate_attack(
-                graph, protocol, attack, threat, metric=metric, rng=trial_seed
-            )
-        else:
-            outcome = evaluate_defended_attack(
-                graph, protocol, attack, defense, threat, metric=metric, rng=trial_seed
-            )
-        gains.append(outcome.total_gain)
-    return float(np.mean(gains))
+    config: ExperimentConfig,
+    figure: str,
+    series: str,
+    parameter: str,
+    value: float,
+    seed_key: str,
+) -> List[TrialTask]:
+    """The per-trial task list for one (defense, point) of Figs. 12-13."""
+    return [
+        TrialTask(
+            graph_key=graph_key,
+            metric=metric,
+            attack=attack,
+            protocol="lfgdpr",
+            epsilon=config.epsilon,
+            beta=beta,
+            gamma=config.gamma,
+            seed=derive_trial_seed(config.seed, f"{figure}|{seed_key}|trial={trial}"),
+            defense=defense,
+            defense_args=defense_args,
+            figure=figure,
+            series=series,
+            parameter=parameter,
+            value=float(value),
+            trial=trial,
+        )
+        for trial in range(config.trials)
+    ]
 
 
 def _defense_threshold_sweep(
@@ -170,36 +174,47 @@ def _defense_threshold_sweep(
     config: ExperimentConfig,
     figure: str,
 ) -> SweepResult:
-    """Detect1 vs Naive1 vs no defense across the Detect1 threshold."""
+    """Detect1 vs Naive1 vs no defense across the Detect1 threshold.
+
+    The whole sweep is flattened into one engine batch: the threshold only
+    affects Detect1, so NoDefense and Naive1 are measured once and replicated
+    across the threshold grid (as in the paper's flat reference lines).
+    """
     graph = _load(dataset, config)
-    protocol = LFGDPRProtocol(epsilon=config.epsilon)
+    graph_key = graph_fingerprint(graph)
+    attack = ATTACKS.resolve(attack_factory)
     common = dict(
-        graph=graph, protocol=protocol, metric=metric,
-        beta=config.beta, gamma=config.gamma, trials=config.trials,
+        graph_key=graph_key, metric=metric, attack=attack, beta=config.beta,
+        config=config, figure=figure, parameter="threshold",
     )
-    no_defense = _average_defended_gain(
-        attack=attack_factory(), defense=None, seed=child_rng(config.seed, f"{figure}-none"),
-        **common,
+    none_tasks = _defense_trials(
+        defense="", defense_args=(), series="NoDefense", value=0.0,
+        seed_key="NoDefense", **common,
     )
-    naive = _average_defended_gain(
-        attack=attack_factory(), defense=NaiveTopDegreeDefense(),
-        seed=child_rng(config.seed, f"{figure}-naive"), **common,
+    naive_tasks = _defense_trials(
+        defense="naive1", defense_args=(), series="Naive1", value=0.0,
+        seed_key="Naive1", **common,
+    )
+    detect_tasks = {
+        threshold: _defense_trials(
+            defense="detect1", defense_args=(("threshold", int(threshold)),),
+            series="Detect1", value=float(threshold),
+            seed_key=f"Detect1|threshold={threshold}", **common,
+        )
+        for threshold in thresholds
+    }
+    batch = none_tasks + naive_tasks + [t for tasks in detect_tasks.values() for t in tasks]
+    gains = dict(
+        zip(batch, run_tasks(batch, graph, executor=executor_for(config), cache=cache_for(config)))
     )
     result = SweepResult(
         figure=figure, dataset=dataset, metric=metric, parameter="threshold",
         values=list(thresholds),
-        series={"NoDefense": [], "Detect1": [], "Naive1": []},
     )
     for threshold in thresholds:
-        detect1 = _average_defended_gain(
-            attack=attack_factory(),
-            defense=FrequentItemsetDefense(threshold=threshold),
-            seed=child_rng(config.seed, f"{figure}-detect1-{threshold}"),
-            **common,
-        )
-        result.series["NoDefense"].append(no_defense)
-        result.series["Detect1"].append(detect1)
-        result.series["Naive1"].append(naive)
+        result.add_point("NoDefense", [gains[t] for t in none_tasks])
+        result.add_point("Detect1", [gains[t] for t in detect_tasks[threshold]])
+        result.add_point("Naive1", [gains[t] for t in naive_tasks])
     return result
 
 
@@ -213,35 +228,30 @@ def _defense_beta_sweep(
 ) -> SweepResult:
     """Detect2 vs Naive2 vs no defense across the fake-user fraction."""
     graph = _load(dataset, config)
-    protocol = LFGDPRProtocol(epsilon=config.epsilon)
+    graph_key = graph_fingerprint(graph)
+    attack = ATTACKS.resolve(attack_factory)
+    plan = {"NoDefense": "", "Detect2": "detect2", "Naive2": "naive2"}
+    tasks = {
+        (series, beta): _defense_trials(
+            graph_key=graph_key, metric=metric, attack=attack, defense=defense,
+            defense_args=(), beta=beta, config=config, figure=figure,
+            series=series, parameter="beta", value=float(beta),
+            seed_key=f"{series}|beta={beta}",
+        )
+        for series, defense in plan.items()
+        for beta in betas
+    }
+    batch = [task for point in tasks.values() for task in point]
+    gains = dict(
+        zip(batch, run_tasks(batch, graph, executor=executor_for(config), cache=cache_for(config)))
+    )
     result = SweepResult(
         figure=figure, dataset=dataset, metric=metric, parameter="beta",
         values=list(betas),
-        series={"NoDefense": [], "Detect2": [], "Naive2": []},
     )
     for beta in betas:
-        common = dict(
-            graph=graph, protocol=protocol, metric=metric,
-            beta=beta, gamma=config.gamma, trials=config.trials,
-        )
-        result.series["NoDefense"].append(
-            _average_defended_gain(
-                attack=attack_factory(), defense=None,
-                seed=child_rng(config.seed, f"{figure}-none-{beta}"), **common,
-            )
-        )
-        result.series["Detect2"].append(
-            _average_defended_gain(
-                attack=attack_factory(), defense=DegreeConsistencyDefense(),
-                seed=child_rng(config.seed, f"{figure}-detect2-{beta}"), **common,
-            )
-        )
-        result.series["Naive2"].append(
-            _average_defended_gain(
-                attack=attack_factory(), defense=NaiveDegreeTailsDefense(),
-                seed=child_rng(config.seed, f"{figure}-naive2-{beta}"), **common,
-            )
-        )
+        for series in plan:
+            result.add_point(series, [gains[t] for t in tasks[(series, beta)]])
     return result
 
 

@@ -5,10 +5,18 @@ One experiment point = the mean overall gain of one attack over
 parameter (epsilon, beta or gamma) while the rest stay at Table III
 defaults, producing one series per attack — exactly the curves the paper's
 figures plot.
+
+Execution goes through :mod:`repro.engine`: the sweep is flattened into one
+:class:`~repro.engine.tasks.TrialTask` per (value × attack × trial), answered
+from the on-disk result cache where possible and executed serially or on a
+process pool for the rest.  Because every task derives its own seed, the
+resulting curves are identical whatever the executor, worker count or cache
+state.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
@@ -17,13 +25,26 @@ import numpy as np
 from repro.core.base import Attack
 from repro.core.clustering_attacks import ClusteringMGA, ClusteringRNA, ClusteringRVA
 from repro.core.degree_attacks import DegreeMGA, DegreeRNA, DegreeRVA
-from repro.core.gain import average_gain
+from repro.engine.executors import (
+    CacheLike,
+    Executor,
+    cache_for,
+    execute_task,
+    executor_for,
+    run_tasks,
+)
+from repro.engine.registry import ATTACKS, PROTOCOLS
+from repro.engine.tasks import (
+    TrialTask,
+    derive_trial_seed,
+    graph_fingerprint,
+    labels_fingerprint,
+)
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.reporting import format_table
 from repro.graph.adjacency import Graph
 from repro.protocols.base import GraphLDPProtocol
 from repro.protocols.lfgdpr import LFGDPRProtocol
-from repro.utils.rng import child_rng
 
 #: Parameters a sweep may vary.
 SWEEPABLE = ("epsilon", "beta", "gamma")
@@ -41,9 +62,22 @@ CLUSTERING_ATTACKS: Dict[str, Callable[[], Attack]] = {
 }
 
 
+def stderr_of(samples: Sequence[float]) -> float:
+    """Standard error of the mean of one point's per-trial gains."""
+    if len(samples) < 2:
+        return 0.0
+    return float(np.std(samples, ddof=1) / math.sqrt(len(samples)))
+
+
 @dataclass
 class SweepResult:
-    """Gain curves of several attacks across one swept parameter."""
+    """Gain curves of several attacks across one swept parameter.
+
+    ``series`` holds the per-point means (what the paper's figures plot);
+    ``stderr`` the matching standard errors of the mean and ``samples`` the
+    raw per-trial gains each point was aggregated from.  ``stderr`` and
+    ``samples`` may be empty for hand-built results.
+    """
 
     figure: str
     dataset: str
@@ -51,14 +85,27 @@ class SweepResult:
     parameter: str
     values: Sequence[float]
     series: Dict[str, List[float]] = field(default_factory=dict)
+    stderr: Dict[str, List[float]] = field(default_factory=dict)
+    samples: Dict[str, List[List[float]]] = field(default_factory=dict)
 
     def format(self) -> str:
-        """Render the sweep as the table the paper's figure plots."""
-        headers = [self.parameter] + list(self.series)
-        rows = [
-            [value] + [self.series[name][index] for name in self.series]
-            for index, value in enumerate(self.values)
-        ]
+        """Render the sweep as the table the paper's figure plots.
+
+        Series with standard errors get a ``±`` column right of their mean.
+        """
+        headers: List[str] = [self.parameter]
+        for name in self.series:
+            headers.append(name)
+            if self.stderr.get(name):
+                headers.append("±")
+        rows = []
+        for index, value in enumerate(self.values):
+            row: List[float] = [value]
+            for name in self.series:
+                row.append(self.series[name][index])
+                if self.stderr.get(name):
+                    row.append(self.stderr[name][index])
+            rows.append(row)
         title = f"{self.figure} — {self.dataset} — {self.metric}"
         return format_table(headers, rows, title=title)
 
@@ -68,6 +115,74 @@ class SweepResult:
             known = ", ".join(self.series)
             raise KeyError(f"no series {attack_name!r}; have: {known}")
         return self.series[attack_name]
+
+    def stderr_of(self, attack_name: str) -> List[float]:
+        """Standard errors of one attack's series (empty if not recorded)."""
+        return self.stderr.get(attack_name, [])
+
+    def add_point(self, name: str, gains: Sequence[float]) -> None:
+        """Append one point (per-trial gains) to series ``name``."""
+        gains = [float(g) for g in gains]
+        self.series.setdefault(name, []).append(float(np.mean(gains)))
+        self.stderr.setdefault(name, []).append(stderr_of(gains))
+        self.samples.setdefault(name, []).append(gains)
+
+
+def build_sweep_tasks(
+    graph: Graph,
+    dataset: str,
+    metric: str,
+    parameter: str,
+    values: Sequence[float],
+    config: ExperimentConfig,
+    attack_names: Mapping[str, str],
+    protocol_name: str,
+    labels_key: str,
+    figure: str,
+) -> List[TrialTask]:
+    """Flatten a sweep into its (value × attack × trial) task list.
+
+    ``attack_names`` maps series names to registry keys.  The per-task seed
+    key encodes every display coordinate, so each task owns an independent
+    stream no matter how the batch is partitioned.
+    """
+    graph_key = graph_fingerprint(graph)
+    tasks: List[TrialTask] = []
+    for value in values:
+        point = {
+            "epsilon": config.epsilon,
+            "beta": config.beta,
+            "gamma": config.gamma,
+            parameter: value,
+        }
+        for series, attack_name in attack_names.items():
+            for trial in range(config.trials):
+                # float() first: the key must not depend on whether `values`
+                # came in as Python floats or numpy scalars (whose repr also
+                # changed across numpy versions).
+                seed = derive_trial_seed(
+                    config.seed,
+                    f"{figure}|{dataset}|{metric}|{series}|{parameter}={float(value)!r}|trial={trial}",
+                )
+                tasks.append(
+                    TrialTask(
+                        graph_key=graph_key,
+                        metric=metric,
+                        attack=attack_name,
+                        protocol=protocol_name,
+                        epsilon=point["epsilon"],
+                        beta=point["beta"],
+                        gamma=point["gamma"],
+                        seed=seed,
+                        labels_key=labels_key,
+                        figure=figure,
+                        series=series,
+                        parameter=parameter,
+                        value=float(value),
+                        trial=trial,
+                    )
+                )
+    return tasks
 
 
 def run_attack_sweep(
@@ -81,8 +196,10 @@ def run_attack_sweep(
     protocol_factory: Callable[[float], GraphLDPProtocol] = LFGDPRProtocol,
     labels: Optional[np.ndarray] = None,
     figure: str = "",
+    executor: Optional[Executor] = None,
+    cache: Optional[CacheLike] = None,
 ) -> SweepResult:
-    """Run one figure's sweep and return the gain curves.
+    """Run one figure's sweep through the engine and return the gain curves.
 
     Parameters
     ----------
@@ -95,39 +212,53 @@ def run_attack_sweep(
         Called with the (possibly swept) epsilon; lets Exp 9 swap in LDPGen.
     labels:
         Community labels, required when ``metric == "modularity"``.
+    executor / cache:
+        Engine backends; default to what ``config.jobs`` / ``config.cache``
+        imply.  Components not present in the engine registries fall back to
+        in-process serial execution without caching (same seeds, same
+        results).
     """
     if parameter not in SWEEPABLE:
         raise ValueError(f"parameter must be one of {SWEEPABLE}, got {parameter!r}")
     if attacks is None:
         attacks = DEGREE_ATTACKS if metric == "degree_centrality" else CLUSTERING_ATTACKS
 
-    result = SweepResult(
-        figure=figure,
-        dataset=dataset,
-        metric=metric,
-        parameter=parameter,
-        values=list(values),
-        series={name: [] for name in attacks},
+    attack_names = {series: ATTACKS.resolve(factory) for series, factory in attacks.items()}
+    protocol_name = PROTOCOLS.resolve(protocol_factory)
+    registered = protocol_name is not None and all(
+        name is not None for name in attack_names.values()
     )
-    for value in values:
-        point = {
-            "epsilon": config.epsilon,
-            "beta": config.beta,
-            "gamma": config.gamma,
-            parameter: value,
-        }
-        protocol = protocol_factory(point["epsilon"])
-        for name, make_attack in attacks.items():
-            gain = average_gain(
-                graph,
-                protocol,
-                make_attack(),
-                metric,
-                beta=point["beta"],
-                gamma=point["gamma"],
-                trials=config.trials,
-                rng=child_rng(config.seed, f"{figure}-{dataset}-{name}-{value}"),
-                labels=labels,
+
+    tasks = build_sweep_tasks(
+        graph, dataset, metric, parameter, values, config,
+        {series: name or f"<unregistered:{series}>" for series, name in attack_names.items()},
+        protocol_name or "<unregistered>",
+        labels_fingerprint(labels),
+        figure=figure,
+    )
+    if registered:
+        executor = executor if executor is not None else executor_for(config)
+        cache = cache if cache is not None else cache_for(config)
+        gains = run_tasks(tasks, graph, labels=labels, executor=executor, cache=cache)
+    else:
+        factories = dict(attacks)
+        gains = [
+            execute_task(
+                task, graph, labels,
+                attack_factory=factories[task.series],
+                protocol_factory=protocol_factory,
             )
-            result.series[name].append(gain)
+            for task in tasks
+        ]
+
+    result = SweepResult(
+        figure=figure, dataset=dataset, metric=metric,
+        parameter=parameter, values=list(values),
+    )
+    by_point: Dict[tuple, List[float]] = {}
+    for task, gain in zip(tasks, gains):
+        by_point.setdefault((task.value, task.series), []).append(gain)
+    for value in values:
+        for series in attacks:
+            result.add_point(series, by_point[(float(value), series)])
     return result

@@ -27,7 +27,7 @@ from repro.graph.adjacency import Graph
 from repro.graph.metrics import local_clustering_coefficients, modularity_from_labels
 from repro.protocols.base import CollectedReports, GraphLDPProtocol, Overrides
 from repro.utils.rng import RngLike, child_rng
-from repro.utils.sparse import pair_count, sample_pairs_excluding
+from repro.utils.sparse import decode_pairs, pairs_between, sample_pairs_excluding
 from repro.utils.validation import check_positive
 
 
@@ -172,9 +172,17 @@ class LDPGenProtocol(GraphLDPProtocol):
         clusters: int,
         rng: np.random.Generator,
     ) -> Graph:
-        """Sample the synthetic graph from estimated group connectivity."""
+        """Sample the synthetic graph from estimated group connectivity.
+
+        The per-group-pair capacities and edge probabilities are computed as
+        whole ``clusters x clusters`` matrices with NumPy index arithmetic;
+        only the actual edge sampling loops over group pairs (it must, to
+        keep the RNG draw order — and therefore the sampled graph — exactly
+        the same as a pairwise scalar implementation).
+        """
         n = noisy_vectors.shape[0]
         members = [np.flatnonzero(labels == g) for g in range(clusters)]
+        sizes = np.array([group.size for group in members], dtype=np.int64)
 
         # Directed claim mass from group g toward group h.
         claims = np.zeros((clusters, clusters), dtype=np.float64)
@@ -182,22 +190,29 @@ class LDPGenProtocol(GraphLDPProtocol):
             if members[g].size:
                 claims[g] = noisy_vectors[members[g]].sum(axis=0)
 
+        # Pair capacity per group pair: C(size, 2) on the diagonal (intra),
+        # size_g * size_h off it (cross).
+        capacity = pairs_between(sizes[:, None], sizes[None, :])
+        np.fill_diagonal(capacity, sizes * (sizes - 1) // 2)
+        # Estimated edge count per pair: every edge is claimed from both
+        # endpoints, so cross mass is the two directed claims averaged and
+        # intra mass is the group's self-claim halved.
+        estimated = (claims + claims.T) / 2.0
+        np.fill_diagonal(estimated, np.diag(claims) / 2.0)
+        estimated = np.maximum(estimated, 0.0)
+        probability = np.zeros_like(estimated)
+        np.divide(estimated, capacity, out=probability, where=capacity > 0)
+        probability = np.minimum(1.0, probability)
+
         edges: list[tuple[int, int]] = []
         for g in range(clusters):
-            size_g = members[g].size
-            # Intra-group: each intra edge is claimed twice within the group.
-            intra_pairs = pair_count(size_g)
-            if intra_pairs > 0:
-                estimated = max(0.0, claims[g, g] / 2.0)
-                probability = min(1.0, estimated / intra_pairs)
-                count = int(rng.binomial(intra_pairs, probability))
+            if capacity[g, g] > 0:
+                count = int(rng.binomial(capacity[g, g], probability[g, g]))
                 if count:
                     codes = sample_pairs_excluding(
-                        size_g, count, np.empty(0, dtype=np.int64), rng
+                        members[g].size, count, np.empty(0, dtype=np.int64), rng
                     )
-                    from repro.utils.sparse import decode_pairs
-
-                    local_rows, local_cols = decode_pairs(codes, size_g)
+                    local_rows, local_cols = decode_pairs(codes, members[g].size)
                     edges.extend(
                         zip(
                             members[g][local_rows].tolist(),
@@ -205,13 +220,9 @@ class LDPGenProtocol(GraphLDPProtocol):
                         )
                     )
             for h in range(g + 1, clusters):
-                size_h = members[h].size
-                total_pairs = size_g * size_h
-                if total_pairs == 0:
+                if capacity[g, h] == 0:
                     continue
-                estimated = max(0.0, (claims[g, h] + claims[h, g]) / 2.0)
-                probability = min(1.0, estimated / total_pairs)
-                count = int(rng.binomial(total_pairs, probability))
+                count = int(rng.binomial(capacity[g, h], probability[g, h]))
                 if count:
                     edges.extend(
                         _sample_bipartite_edges(members[g], members[h], count, rng)

@@ -19,6 +19,24 @@ def pair_count(n: int) -> int:
     return n * (n - 1) // 2
 
 
+def pairs_between(size_a, size_b):
+    """Number of distinct cross-group pairs between disjoint groups.
+
+    Works elementwise on arrays, so a full group-size vector yields the
+    whole pair-capacity matrix in one expression::
+
+        >>> sizes = np.array([2, 3])
+        >>> pairs_between(sizes[:, None], sizes[None, :])[0, 1]
+        6
+    """
+    size_a = np.asarray(size_a, dtype=np.int64)
+    size_b = np.asarray(size_b, dtype=np.int64)
+    if np.any(size_a < 0) or np.any(size_b < 0):
+        raise ValueError("group sizes must be non-negative")
+    product = size_a * size_b
+    return int(product) if product.ndim == 0 else product
+
+
 def encode_pairs(rows: np.ndarray, cols: np.ndarray, n: int) -> np.ndarray:
     """Encode unordered pairs (i, j), i < j, as unique int64 codes.
 

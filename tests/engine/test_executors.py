@@ -1,0 +1,163 @@
+"""Tests for the execution backends and the cache-aware task driver.
+
+The two load-bearing guarantees of the engine are pinned here:
+
+* serial and process-pool execution produce **bit-identical** sweeps;
+* a warm cache answers a repeated sweep with **zero** trial computations.
+"""
+
+import pytest
+
+from repro.engine.cache import NullCache, ResultCache
+from repro.engine.executors import (
+    ParallelExecutor,
+    SerialExecutor,
+    execute_task,
+    run_tasks,
+)
+from repro.engine.tasks import TrialTask, derive_trial_seed, graph_fingerprint
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_attack_sweep
+from repro.graph.generators import powerlaw_cluster_graph
+
+CONFIG = ExperimentConfig(trials=2, seed=3, cache=False)
+
+
+class CountingExecutor(SerialExecutor):
+    """Serial executor that records how many tasks actually computed."""
+
+    def __init__(self):
+        self.executed = 0
+
+    def execute(self, tasks, graph, labels=None):
+        self.executed += len(tasks)
+        return super().execute(tasks, graph, labels)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_cluster_graph(120, 3, 0.4, rng=0)
+
+
+def small_sweep(graph, executor, cache):
+    return run_attack_sweep(
+        graph, "toy", "degree_centrality", "epsilon", [2.0, 4.0], CONFIG,
+        figure="EngineT", executor=executor, cache=cache,
+    )
+
+
+class TestSerialParallelEquivalence:
+    def test_bit_identical_sweeps(self, graph):
+        serial = small_sweep(graph, SerialExecutor(), NullCache())
+        parallel = small_sweep(graph, ParallelExecutor(jobs=4), NullCache())
+        assert serial.series == parallel.series
+        assert serial.stderr == parallel.stderr
+        assert serial.samples == parallel.samples
+
+    def test_jobs_one_falls_back_to_serial(self, graph):
+        assert small_sweep(graph, ParallelExecutor(jobs=1), NullCache()).series == \
+            small_sweep(graph, SerialExecutor(), NullCache()).series
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError, match="jobs"):
+            ParallelExecutor(jobs=0)
+
+
+class TestCaching:
+    def test_warm_cache_skips_all_computation(self, graph, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold_executor = CountingExecutor()
+        cold = small_sweep(graph, cold_executor, cache)
+        assert cold_executor.executed == 2 * 3 * CONFIG.trials  # values x attacks x trials
+
+        warm_executor = CountingExecutor()
+        warm = small_sweep(graph, warm_executor, ResultCache(tmp_path))
+        assert warm_executor.executed == 0
+        assert warm.series == cold.series
+        assert warm.stderr == cold.stderr
+
+    def test_partial_cache_computes_only_missing(self, graph, tmp_path):
+        cache = ResultCache(tmp_path)
+        graph_key = graph_fingerprint(graph)
+        tasks = [
+            TrialTask(
+                graph_key=graph_key, metric="degree_centrality",
+                attack="degree/rva", protocol="lfgdpr",
+                epsilon=4.0, beta=0.05, gamma=0.05,
+                seed=derive_trial_seed(0, f"partial|{trial}"), trial=trial,
+            )
+            for trial in range(3)
+        ]
+        first = run_tasks(tasks[:1], graph, executor=SerialExecutor(), cache=cache)
+        executor = CountingExecutor()
+        all_gains = run_tasks(tasks, graph, executor=executor, cache=cache)
+        assert executor.executed == 2
+        assert all_gains[0] == first[0]
+
+    def test_different_labels_never_share_entries(self, graph, tmp_path):
+        """Modularity gains under labelling A must not be reused for B."""
+        import numpy as np
+
+        cache = ResultCache(tmp_path)
+        labels_a = (np.arange(graph.num_nodes) // 30).astype(np.int64)
+        labels_b = (np.arange(graph.num_nodes) % 4).astype(np.int64)
+        sweep = lambda labels: run_attack_sweep(  # noqa: E731
+            graph, "toy", "modularity", "epsilon", [4.0], CONFIG,
+            labels=labels, figure="EngineL",
+            executor=SerialExecutor(), cache=cache,
+        )
+        a = sweep(labels_a)
+        hits_before = cache.hits
+        b = sweep(labels_b)
+        assert cache.hits == hits_before  # nothing reused across labelings
+        assert a.series != b.series
+
+    def test_different_graphs_never_share_entries(self, tmp_path):
+        graph_a = powerlaw_cluster_graph(60, 3, 0.4, rng=0)
+        graph_b = powerlaw_cluster_graph(60, 3, 0.4, rng=1)
+        cache = ResultCache(tmp_path)
+        sweep = lambda g: run_attack_sweep(  # noqa: E731
+            g, "toy", "degree_centrality", "epsilon", [4.0], CONFIG,
+            figure="EngineG", executor=SerialExecutor(), cache=cache,
+        )
+        a = sweep(graph_a)
+        b = sweep(graph_b)
+        assert a.series != b.series  # same seeds, different graph -> fresh compute
+
+
+class TestExecuteTask:
+    def test_defended_task_runs(self, graph):
+        task = TrialTask(
+            graph_key="x", metric="degree_centrality", attack="degree/mga",
+            protocol="lfgdpr", epsilon=4.0, beta=0.05, gamma=0.05, seed=11,
+            defense="detect1", defense_args=(("threshold", 50),),
+        )
+        undefended = execute_task(
+            TrialTask(
+                graph_key="x", metric="degree_centrality", attack="degree/mga",
+                protocol="lfgdpr", epsilon=4.0, beta=0.05, gamma=0.05, seed=11,
+            ),
+            graph,
+        )
+        defended = execute_task(task, graph)
+        assert defended >= 0.0 and undefended >= 0.0
+
+    def test_unregistered_factories_supported(self, graph):
+        from repro.core.degree_attacks import DegreeRVA
+        from repro.protocols.lfgdpr import LFGDPRProtocol
+
+        task = TrialTask(
+            graph_key="x", metric="degree_centrality", attack="<custom>",
+            protocol="<custom>", epsilon=4.0, beta=0.05, gamma=0.05, seed=11,
+        )
+        via_factories = execute_task(
+            task, graph, attack_factory=DegreeRVA, protocol_factory=LFGDPRProtocol
+        )
+        via_registry = execute_task(
+            TrialTask(
+                graph_key="x", metric="degree_centrality", attack="degree/rva",
+                protocol="lfgdpr", epsilon=4.0, beta=0.05, gamma=0.05, seed=11,
+            ),
+            graph,
+        )
+        assert via_factories == via_registry

@@ -1,0 +1,77 @@
+"""Tests for the trial task spec and its content hash."""
+
+import dataclasses
+
+import pytest
+
+from repro.engine.tasks import TrialTask, derive_trial_seed, graph_fingerprint
+from repro.graph.adjacency import Graph
+
+
+def make_task(**overrides):
+    fields = dict(
+        graph_key="abcd", metric="degree_centrality", attack="degree/mga",
+        protocol="lfgdpr", epsilon=4.0, beta=0.05, gamma=0.05, seed=123,
+    )
+    fields.update(overrides)
+    return TrialTask(**fields)
+
+
+class TestContentHash:
+    def test_stable_across_instances(self):
+        assert make_task().content_hash() == make_task().content_hash()
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("graph_key", "other"),
+            ("metric", "clustering_coefficient"),
+            ("attack", "degree/rva"),
+            ("protocol", "ldpgen"),
+            ("epsilon", 2.0),
+            ("beta", 0.01),
+            ("gamma", 0.1),
+            ("seed", 124),
+            ("defense", "detect1"),
+            ("defense_args", (("threshold", 100),)),
+            ("labels_key", "deadbeef"),
+        ],
+    )
+    def test_identity_fields_change_hash(self, field, value):
+        assert make_task().content_hash() != make_task(**{field: value}).content_hash()
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("figure", "Fig6"),
+            ("series", "MGA"),
+            ("parameter", "epsilon"),
+            ("value", 4.0),
+            ("trial", 7),
+        ],
+    )
+    def test_display_fields_do_not_change_hash(self, field, value):
+        assert make_task().content_hash() == make_task(**{field: value}).content_hash()
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            make_task().seed = 7
+
+
+class TestDeriveTrialSeed:
+    def test_deterministic_and_key_sensitive(self):
+        assert derive_trial_seed(0, "a|trial=0") == derive_trial_seed(0, "a|trial=0")
+        assert derive_trial_seed(0, "a|trial=0") != derive_trial_seed(0, "a|trial=1")
+        assert derive_trial_seed(0, "a|trial=0") != derive_trial_seed(1, "a|trial=0")
+
+
+class TestGraphFingerprint:
+    def test_same_graph_same_fingerprint(self):
+        a = Graph(5, [(0, 1), (1, 2)])
+        b = Graph(5, [(1, 2), (0, 1)])
+        assert graph_fingerprint(a) == graph_fingerprint(b)
+
+    def test_differs_on_edges_and_size(self):
+        base = Graph(5, [(0, 1)])
+        assert graph_fingerprint(base) != graph_fingerprint(Graph(5, [(0, 2)]))
+        assert graph_fingerprint(base) != graph_fingerprint(Graph(6, [(0, 1)]))

@@ -68,11 +68,48 @@ class TestSweepResult:
         )
         text = result.format()
         assert "FigX" in text and "MGA" in text and "0.2500" in text
+        # No stderr recorded -> no ± column.
+        assert "±" not in text
 
     def test_gains_of_missing_attack(self):
         result = SweepResult("F", "d", "m", "epsilon", [1.0], {"MGA": [1.0]})
         with pytest.raises(KeyError, match="have: MGA"):
             result.gains_of("RVA")
+
+    def test_add_point_aggregates_trials(self):
+        result = SweepResult("F", "d", "m", "epsilon", [1.0])
+        result.add_point("MGA", [1.0, 3.0])
+        assert result.series["MGA"] == [2.0]
+        # Sample stdev of [1, 3] is sqrt(2); SEM = sqrt(2)/sqrt(2) = 1.
+        assert result.stderr["MGA"] == [1.0]
+        assert result.samples["MGA"] == [[1.0, 3.0]]
+
+    def test_single_trial_stderr_is_zero(self):
+        result = SweepResult("F", "d", "m", "epsilon", [1.0])
+        result.add_point("MGA", [4.0])
+        assert result.stderr["MGA"] == [0.0]
+
+    def test_format_renders_stderr_column(self):
+        result = SweepResult("F", "d", "m", "epsilon", [1.0])
+        result.add_point("MGA", [1.0, 3.0])
+        text = result.format()
+        assert "±" in text and "2.0000" in text and "1.0000" in text
+
+
+class TestSweepStatistics:
+    def test_sweep_carries_per_trial_samples(self, graph):
+        config = ExperimentConfig(trials=3, seed=0, cache=False)
+        result = run_attack_sweep(
+            graph, "toy", "degree_centrality", "epsilon", [4.0], config, figure="S"
+        )
+        for name in result.series:
+            assert len(result.samples[name]) == 1
+            assert len(result.samples[name][0]) == 3
+            assert result.series[name][0] == pytest.approx(
+                float(np.mean(result.samples[name][0]))
+            )
+            assert result.stderr[name][0] >= 0.0
+        assert "±" in result.format()
 
 
 class TestFigureDrivers:

@@ -12,6 +12,13 @@ import pytest
 import repro
 
 TOP_LEVEL_API = [
+    "ATTACKS",
+    "PROTOCOLS",
+    "DEFENSES",
+    "TrialTask",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "ResultCache",
     "Attack",
     "AttackerKnowledge",
     "AttackOutcome",
@@ -46,6 +53,7 @@ SUBPACKAGES = [
     "repro.protocols",
     "repro.core",
     "repro.defenses",
+    "repro.engine",
     "repro.experiments",
     "repro.utils",
 ]
