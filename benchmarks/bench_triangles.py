@@ -1,0 +1,56 @@
+"""Microbenchmark — packed vs sparse triangle counting across densities.
+
+Runs in the CI smoke job so backend perf regressions show up in the log.
+At each density both backends must agree bit-for-bit; the packed backend is
+expected to pull ahead as density grows (the dispatch threshold in
+``repro.graph.bitmatrix`` sits at 0.05 by default).
+"""
+
+import time
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.graph import metrics
+from repro.graph.bitmatrix import should_use_packed
+from repro.graph.generators import erdos_renyi_graph
+
+NODES = 600
+DENSITIES = [0.01, 0.15, 0.45]
+
+
+def _best_of(callable_, repeats=3):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = callable_()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_triangle_backends_timing():
+    lines = [
+        f"triangles_per_node backends, n={NODES} (best of 3)",
+        f"{'density':>8} {'sparse_s':>10} {'packed_s':>10} {'speedup':>8} {'dispatch':>9}",
+    ]
+    for density in DENSITIES:
+        graph = erdos_renyi_graph(NODES, density, rng=int(density * 1000))
+        sparse_time, sparse_counts = _best_of(lambda: metrics._triangles_sparse(graph))
+        packed_time, packed_counts = _best_of(lambda: metrics._triangles_packed(graph))
+        assert np.array_equal(sparse_counts, packed_counts), f"backend mismatch at {density}"
+        dispatch = "packed" if should_use_packed(graph) else "sparse"
+        lines.append(
+            f"{density:>8.2f} {sparse_time:>10.4f} {packed_time:>10.4f} "
+            f"{sparse_time / max(packed_time, 1e-9):>7.1f}x {dispatch:>9}"
+        )
+    emit("bench_triangles", "\n".join(lines))
+
+
+@pytest.mark.parametrize("density", DENSITIES)
+def test_dispatch_routes_as_documented(density, monkeypatch):
+    monkeypatch.delenv("REPRO_DENSE_THRESHOLD", raising=False)
+    monkeypatch.delenv("REPRO_DENSE_MAX_BYTES", raising=False)
+    graph = erdos_renyi_graph(NODES, density, rng=0)
+    expected_packed = density >= 0.05
+    assert should_use_packed(graph) == expected_packed

@@ -1,6 +1,7 @@
 """Graph substrate: sparse undirected graphs, metrics, generators, datasets."""
 
 from repro.graph.adjacency import Graph
+from repro.graph.bitmatrix import BitMatrix, density_threshold, should_use_packed
 from repro.graph.datasets import DATASETS, DatasetSpec, load_dataset
 from repro.graph.generators import (
     barabasi_albert_graph,
@@ -19,6 +20,9 @@ from repro.graph.metrics import (
 
 __all__ = [
     "Graph",
+    "BitMatrix",
+    "density_threshold",
+    "should_use_packed",
     "DATASETS",
     "DatasetSpec",
     "load_dataset",

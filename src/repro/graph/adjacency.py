@@ -5,7 +5,11 @@ each user (the row of the adjacency matrix belonging to that user) and on the
 user's degree.  :class:`Graph` stores the edge set sparsely — as a sorted
 array of unordered-pair codes — so graphs with tens of thousands of nodes fit
 comfortably in memory, while still offering O(deg) neighbour queries through a
-CSR index and on-demand dense bit-vector rows for small graphs.
+lazily built, cached CSR index and on-demand dense bit-vector rows for small
+graphs.  Graphs consumed only for degrees, edge arrays or whole-graph metrics
+(the common fate of randomized-response-perturbed graphs) never pay the CSR
+sort; dense perturbed graphs route their triangle counting through the
+bit-packed backend in :mod:`repro.graph.bitmatrix`.
 
 Graphs are value-style objects: mutating operations return new graphs.  This
 keeps before/after attack comparisons safe by construction.
@@ -57,20 +61,39 @@ class Graph:
                 raise ValueError("edges must be an iterable of (u, v) pairs")
             codes = np.unique(encode_pairs(edge_array[:, 0], edge_array[:, 1], self._num_nodes))
         self._codes = codes
-        self._indptr, self._indices, self._degrees = self._build_csr()
+        self._indptr = self._indices = self._degrees = None
 
     @classmethod
-    def from_codes(cls, num_nodes: int, codes: np.ndarray) -> "Graph":
-        """Build a graph directly from sorted unique unordered-pair codes."""
+    def from_codes(
+        cls, num_nodes: int, codes: np.ndarray, *, assume_sorted_unique: bool = False
+    ) -> "Graph":
+        """Build a graph directly from unordered-pair codes.
+
+        With ``assume_sorted_unique`` the caller guarantees ``codes`` is
+        already sorted and duplicate-free (e.g. the output of ``np.union1d``,
+        ``np.setdiff1d`` or :func:`repro.utils.sparse.merge_sorted_disjoint`),
+        skipping the O(E log E) ``np.unique`` pass — the dominant construction
+        cost for the near-dense graphs low-epsilon randomized response emits.
+        An owning array is adopted without copying and frozen
+        (``writeable=False``), so a caller mutating its buffer afterwards
+        gets a loud error instead of silently corrupting a value-style graph;
+        a view is copied (freezing a view would not stop writes through its
+        base).  Range validation is always performed (O(1) on sorted codes).
+        """
         graph = cls.__new__(cls)
         graph._num_nodes = int(num_nodes)
         codes = np.asarray(codes, dtype=np.int64)
         if codes.size:
-            codes = np.unique(codes)
+            if not assume_sorted_unique:
+                codes = np.unique(codes)
+            else:
+                if not codes.flags.owndata:
+                    codes = codes.copy()
+                codes.flags.writeable = False
             if codes[0] < 0 or codes[-1] >= pair_count(num_nodes):
                 raise ValueError("edge code out of range for num_nodes")
         graph._codes = codes
-        graph._indptr, graph._indices, graph._degrees = graph._build_csr()
+        graph._indptr = graph._indices = graph._degrees = None
         return graph
 
     @classmethod
@@ -122,6 +145,12 @@ class Graph:
 
     def degrees(self) -> np.ndarray:
         """Degree of every node (read-only array of length ``num_nodes``)."""
+        if self._degrees is None:
+            rows, cols = decode_pairs(self._codes, self._num_nodes)
+            self._degrees = (
+                np.bincount(rows, minlength=self._num_nodes)
+                + np.bincount(cols, minlength=self._num_nodes)
+            ).astype(np.int64)
         view = self._degrees.view()
         view.flags.writeable = False
         return view
@@ -129,22 +158,27 @@ class Graph:
     def degree(self, node: int) -> int:
         """Degree of a single node."""
         self._check_node(node)
-        return int(self._degrees[node])
+        return int(self.degrees()[node])
 
     def neighbors(self, node: int) -> np.ndarray:
         """Sorted neighbour ids of ``node``."""
         self._check_node(node)
+        self._ensure_csr()
         return self._indices[self._indptr[node] : self._indptr[node + 1]]
 
     def has_edge(self, u: int, v: int) -> bool:
         """Whether the undirected edge ``{u, v}`` exists."""
         self._check_node(u)
         self._check_node(v)
+        u, v = int(u), int(v)
         if u == v:
             return False
-        code = encode_pairs(np.array([u]), np.array([v]), self._num_nodes)[0]
-        position = np.searchsorted(self._codes, code)
-        return bool(position < self._codes.size and self._codes[position] == code)
+        lo, hi = (u, v) if u < v else (v, u)
+        # Scalar form of repro.utils.sparse.encode_pairs — plain python ints,
+        # no length-1 array allocations on this per-pair hot path.
+        code = lo * self._num_nodes - lo * (lo + 1) // 2 + (hi - lo - 1)
+        position = int(np.searchsorted(self._codes, code))
+        return position < self._codes.size and int(self._codes[position]) == code
 
     def adjacency_bit_vector(self, node: int) -> np.ndarray:
         """Dense 0/1 adjacency row of ``node`` (the user's local view).
@@ -178,7 +212,7 @@ class Graph:
             return self
         codes = encode_pairs(new_edges[:, 0], new_edges[:, 1], self._num_nodes)
         merged = np.union1d(self._codes, codes)
-        return Graph.from_codes(self._num_nodes, merged)
+        return Graph.from_codes(self._num_nodes, merged, assume_sorted_unique=True)
 
     def without_edges(self, edges: Iterable[Tuple[int, int]]) -> "Graph":
         """A new graph with ``edges`` removed (missing edges are ignored)."""
@@ -187,7 +221,7 @@ class Graph:
             return self
         codes = encode_pairs(drop[:, 0], drop[:, 1], self._num_nodes)
         kept = np.setdiff1d(self._codes, codes)
-        return Graph.from_codes(self._num_nodes, kept)
+        return Graph.from_codes(self._num_nodes, kept, assume_sorted_unique=True)
 
     def with_nodes(self, extra_nodes: int) -> "Graph":
         """A new graph with ``extra_nodes`` appended as isolated nodes.
@@ -199,8 +233,10 @@ class Graph:
             return self
         rows, cols = self.edge_arrays()
         new_n = self._num_nodes + int(extra_nodes)
+        # Re-encoding with a larger n preserves the (row, col) lex order, so
+        # the new codes are still sorted and unique.
         codes = encode_pairs(rows, cols, new_n) if rows.size else np.empty(0, dtype=np.int64)
-        return Graph.from_codes(new_n, codes)
+        return Graph.from_codes(new_n, codes, assume_sorted_unique=True)
 
     def subgraph(self, nodes: Sequence[int]) -> "Graph":
         """Induced subgraph on ``nodes`` (relabelled to 0..len(nodes)-1)."""
@@ -217,17 +253,32 @@ class Graph:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _build_csr(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def _ensure_csr(self) -> None:
+        """Build the CSR index on first use.
+
+        The index costs a sort over 2E entries, which graphs consumed only
+        through ``degrees()``/``edge_arrays()``/metrics (e.g. the near-dense
+        perturbed graphs of low-epsilon randomized response) never need — so
+        it is built lazily and cached.  ``codes`` is sorted, hence the decoded
+        (row, col) pairs are lex-sorted; listing the (col, row) half first
+        makes one *stable* single-key sort on the row leave every bucket's
+        neighbours ascending (smaller-id neighbours come from the col half).
+        """
+        if self._indices is not None:
+            return
         rows, cols = decode_pairs(self._codes, self._num_nodes)
-        all_rows = np.concatenate([rows, cols])
-        all_cols = np.concatenate([cols, rows])
-        order = np.lexsort((all_cols, all_rows))
-        sorted_rows = all_rows[order]
-        sorted_cols = all_cols[order]
-        degrees = np.bincount(sorted_rows, minlength=self._num_nodes).astype(np.int64)
+        all_rows = np.concatenate([cols, rows])
+        all_cols = np.concatenate([rows, cols])
+        order = np.argsort(all_rows, kind="stable")
+        if self._degrees is None:
+            self._degrees = (
+                np.bincount(rows, minlength=self._num_nodes)
+                + np.bincount(cols, minlength=self._num_nodes)
+            ).astype(np.int64)
         indptr = np.zeros(self._num_nodes + 1, dtype=np.int64)
-        np.cumsum(degrees, out=indptr[1:])
-        return indptr, sorted_cols, degrees
+        np.cumsum(self._degrees, out=indptr[1:])
+        self._indptr = indptr
+        self._indices = all_cols[order]
 
     def _check_node(self, node: int) -> None:
         if not 0 <= node < self._num_nodes:

@@ -23,7 +23,7 @@ import numpy as np
 from repro.graph.adjacency import Graph
 from repro.ldp.mechanisms import rr_keep_probability
 from repro.utils.rng import RngLike, ensure_rng
-from repro.utils.sparse import pair_count, sample_pairs_excluding
+from repro.utils.sparse import merge_sorted_disjoint, pair_count, sample_pairs_excluding
 from repro.utils.validation import check_non_negative
 
 
@@ -45,7 +45,12 @@ def perturb_graph(graph: Graph, epsilon: float, rng: RngLike = None) -> Graph:
     flip_count = int(generator.binomial(non_edges, 1.0 - keep)) if non_edges > 0 else 0
     flipped = sample_pairs_excluding(n, flip_count, codes, generator)
 
-    return Graph.from_codes(n, np.concatenate([survivors, flipped]))
+    # Survivors are a sorted subset of the original codes; flipped pairs were
+    # sampled outside them.  Sorting the (smaller) flipped set and merging two
+    # disjoint sorted arrays replaces the np.unique re-sort over the full
+    # near-dense edge set the previous construction paid.
+    merged = merge_sorted_disjoint(survivors, np.sort(flipped))
+    return Graph.from_codes(n, merged, assume_sorted_unique=True)
 
 
 def expected_perturbed_degree(degree: float, num_nodes: int, epsilon: float) -> float:

@@ -172,7 +172,9 @@ def apply_overrides(
     flags[replaced] = True
     rows, cols = perturbed.edge_arrays()
     keep = ~(flags[rows] | flags[cols])
-    stripped = Graph(n, zip(rows[keep].tolist(), cols[keep].tolist()))
+    # edge_arrays() is aligned with edge_codes, so the kept codes are already
+    # sorted and unique — no python-tuple round trip, no np.unique re-sort.
+    stripped = Graph.from_codes(n, perturbed.edge_codes[keep], assume_sorted_unique=True)
 
     crafted: list[tuple[int, int]] = []
     for node, report in overrides.items():

@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.adjacency import Graph
+from repro.graph.bitmatrix import BitMatrix, should_use_packed
 from repro.graph.metrics import edge_density, triangles_per_node
 from repro.ldp.mechanisms import calibrate_bit_counts, rr_keep_probability
 from repro.utils.validation import check_positive
@@ -200,11 +201,21 @@ def estimate_modularity(
         raise ValueError("labels must have one entry per node")
     num_communities = int(labels.max()) + 1 if n else 0
 
-    rows, cols = perturbed.edge_arrays()
-    same = labels[rows] == labels[cols]
-    observed_intra = np.bincount(
-        labels[rows[same]], minlength=num_communities
-    ).astype(np.float64)
+    # Both branches count intra-community edges exactly, so the dispatch is
+    # bit-identical; the packed branch popcounts masked rows instead of
+    # decoding and bucketing every edge of a near-dense perturbed graph.
+    if should_use_packed(perturbed):
+        observed_intra = (
+            BitMatrix.from_graph(perturbed)
+            .intra_community_edges(labels, num_communities)
+            .astype(np.float64)
+        )
+    else:
+        rows, cols = perturbed.edge_arrays()
+        same = labels[rows] == labels[cols]
+        observed_intra = np.bincount(
+            labels[rows[same]], minlength=num_communities
+        ).astype(np.float64)
     community_sizes = np.bincount(labels, minlength=num_communities).astype(np.float64)
     intra_pairs = community_sizes * (community_sizes - 1.0) / 2.0
     estimated_intra = np.maximum(

@@ -53,6 +53,34 @@ class TestConstruction:
         with pytest.raises(ValueError, match="out of range"):
             Graph.from_codes(4, np.array([pair_count(4)], dtype=np.int64))
 
+    def test_from_codes_sorted_unique_fast_path(self):
+        codes = np.array([0, 3, 5], dtype=np.int64)
+        fast = Graph.from_codes(4, codes, assume_sorted_unique=True)
+        assert fast == Graph.from_codes(4, codes)
+        assert fast.degrees().tolist() == Graph.from_codes(4, codes).degrees().tolist()
+
+    def test_from_codes_fast_path_freezes_adopted_array(self):
+        # The fast path adopts the buffer without copying; mutating it
+        # afterwards must fail loudly rather than corrupt the graph.
+        codes = np.array([0, 3, 5], dtype=np.int64)
+        Graph.from_codes(4, codes, assume_sorted_unique=True)
+        with pytest.raises(ValueError):
+            codes[0] = 2
+
+    def test_from_codes_fast_path_copies_views(self):
+        # Freezing a view would not stop writes through its base, so views
+        # are copied instead of adopted.
+        base = np.array([0, 3, 5, 99], dtype=np.int64)
+        g = Graph.from_codes(4, base[:3], assume_sorted_unique=True)
+        base[0] = 4
+        assert g.edge_codes.tolist() == [0, 3, 5]
+
+    def test_from_codes_fast_path_still_range_checks(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Graph.from_codes(4, np.array([0, pair_count(4)], dtype=np.int64), assume_sorted_unique=True)
+        with pytest.raises(ValueError, match="out of range"):
+            Graph.from_codes(4, np.array([-1, 2], dtype=np.int64), assume_sorted_unique=True)
+
 
 class TestQueries:
     def test_neighbors(self, triangle_plus_isolated):
@@ -142,6 +170,39 @@ class TestEdits:
     def test_subgraph_duplicate_nodes_rejected(self, triangle_plus_isolated):
         with pytest.raises(ValueError, match="unique"):
             triangle_plus_isolated.subgraph([0, 0, 1])
+
+
+class TestLazyIndex:
+    """The CSR index is built on first neighbour query, not at construction."""
+
+    def test_degrees_available_without_csr(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 0)])
+        assert g._indices is None
+        assert g.degrees().tolist() == [2, 2, 2, 0]
+        assert g._indices is None, "degrees must not force the CSR build"
+
+    def test_neighbors_builds_and_caches(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 0)])
+        assert g.neighbors(0).tolist() == [1, 2]
+        index = g._indices
+        g.neighbors(2)
+        assert g._indices is index, "CSR index built once and cached"
+
+    def test_neighbors_sorted_after_lazy_build(self):
+        # Buckets mix smaller-id and larger-id neighbours; the stable
+        # single-key sort must still leave each bucket ascending.
+        g = Graph(6, [(2, 4), (0, 2), (2, 5), (1, 2), (2, 3)])
+        assert g.neighbors(2).tolist() == [0, 1, 3, 4, 5]
+
+    def test_pickle_round_trip(self, triangle_plus_isolated):
+        import pickle
+
+        g = triangle_plus_isolated
+        g.neighbors(0)  # populate the lazy caches before pickling
+        clone = pickle.loads(pickle.dumps(g))
+        assert clone == g
+        assert clone.degrees().tolist() == g.degrees().tolist()
+        assert clone.neighbors(1).tolist() == g.neighbors(1).tolist()
 
 
 class TestNetworkxInterop:

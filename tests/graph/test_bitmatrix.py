@@ -1,0 +1,197 @@
+"""Tests for the bit-packed dense adjacency backend and its dispatch.
+
+The packed and sparse backends must be *bit-identical* — exact integer
+triangle counts, degrees and edge counts — across the whole density range,
+because the density-adaptive dispatch in ``repro.graph.metrics`` silently
+routes between them (and engine cache entries rely on results never
+changing).
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import metrics
+from repro.graph.adjacency import Graph
+from repro.graph.bitmatrix import (
+    DEFAULT_DENSITY_THRESHOLD,
+    BitMatrix,
+    density_threshold,
+    should_use_packed,
+)
+from repro.graph.generators import erdos_renyi_graph, powerlaw_cluster_graph
+from repro.graph.metrics import edge_density, triangles_per_node
+from repro.ldp.perturbation import perturb_graph
+from repro.utils.sparse import pair_count
+
+
+class TestPacking:
+    def test_triangle_graph(self):
+        bm = BitMatrix.from_graph(Graph(4, [(0, 1), (1, 2), (2, 0)]))
+        assert bm.degrees().tolist() == [2, 2, 2, 0]
+        assert bm.triangles_per_node().tolist() == [1, 1, 1, 0]
+        assert bm.num_edges == 3
+
+    def test_empty_graph(self):
+        bm = BitMatrix.from_graph(Graph(0))
+        assert bm.degrees().size == 0
+        assert bm.triangles_per_node().size == 0
+        assert bm.num_edges == 0
+        assert bm.edge_density() == 0.0
+
+    def test_single_node(self):
+        bm = BitMatrix.from_graph(Graph(1))
+        assert bm.degrees().tolist() == [0]
+        assert bm.triangles_per_node().tolist() == [0]
+        assert bm.edge_density() == 0.0
+
+    def test_two_nodes(self):
+        bm = BitMatrix.from_graph(Graph(2, [(0, 1)]))
+        assert bm.degrees().tolist() == [1, 1]
+        assert bm.triangles_per_node().tolist() == [0, 0]
+        assert bm.num_edges == 1
+        assert bm.edge_density() == 1.0
+
+    def test_word_boundary_nodes(self):
+        # Nodes 63/64/65 straddle the uint64 word boundary.
+        g = Graph(66, [(63, 64), (64, 65), (63, 65), (0, 63)])
+        bm = BitMatrix.from_graph(g)
+        assert np.array_equal(bm.degrees(), g.degrees())
+        assert bm.triangles_per_node().tolist() == triangles_per_node(g).tolist()
+
+    def test_complete_graph(self):
+        k8 = Graph(8, [(i, j) for i in range(8) for j in range(i + 1, 8)])
+        bm = BitMatrix.from_graph(k8)
+        assert bm.edge_density() == 1.0
+        # Each node of K8 is in C(7, 2) = 21 triangles.
+        assert bm.triangles_per_node().tolist() == [21] * 8
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError, match="expected"):
+            BitMatrix(4, np.zeros((4, 2), dtype=np.uint64))
+
+    def test_repr(self):
+        assert repr(BitMatrix.from_graph(Graph(65))) == "BitMatrix(num_nodes=65, num_words=2)"
+
+
+@pytest.mark.parametrize("density", [0.001, 0.01, 0.05, 0.2, 0.5, 0.9])
+def test_backends_bit_identical_across_densities(density):
+    """Packed == sparse == networkx, exactly, from near-empty to near-complete."""
+    g = erdos_renyi_graph(130, density, rng=int(density * 1000))
+    packed = metrics._triangles_packed(g)
+    sparse = metrics._triangles_sparse(g)
+    assert np.array_equal(packed, sparse)
+    theirs = nx.triangles(g.to_networkx())
+    assert packed.tolist() == [theirs[i] for i in range(g.num_nodes)]
+    bm = BitMatrix.from_graph(g)
+    assert np.array_equal(bm.degrees(), g.degrees())
+    assert bm.num_edges == g.num_edges
+    assert bm.edge_density() == edge_density(g)
+
+
+@given(
+    n=st.integers(min_value=0, max_value=70),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    density=st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_backend_equality_property(n, seed, density):
+    """Exact packed/sparse agreement on arbitrary random graphs, n=0 included."""
+    total = pair_count(n)
+    rng = np.random.default_rng(seed)
+    count = int(round(density * total))
+    codes = rng.choice(total, size=count, replace=False) if count else np.empty(0, np.int64)
+    g = Graph.from_codes(n, np.asarray(codes, dtype=np.int64))
+    bm = BitMatrix.from_graph(g)
+    assert np.array_equal(bm.degrees(), g.degrees())
+    assert bm.num_edges == g.num_edges
+    if n > 0:
+        assert np.array_equal(metrics._triangles_packed(g), metrics._triangles_sparse(g))
+
+
+def test_chunked_popcount_passes_match_single_pass(monkeypatch):
+    """Bounding the gather/AND temporaries must not change any count."""
+    from repro.graph import bitmatrix
+
+    g = erdos_renyi_graph(100, 0.5, rng=9)
+    labels = np.arange(100) % 3
+    reference = BitMatrix.from_graph(g)
+    expected_triangles = reference.triangles_per_node()
+    expected_intra = reference.intra_community_edges(labels, 3)
+    monkeypatch.setattr(bitmatrix, "_CHUNK_WORDS", 4)  # force many tiny chunks
+    assert np.array_equal(reference.triangles_per_node(), expected_triangles)
+    assert np.array_equal(reference.intra_community_edges(labels, 3), expected_intra)
+
+
+class TestIntraCommunityEdges:
+    def test_matches_edge_bucketing(self):
+        g = erdos_renyi_graph(90, 0.4, rng=3)
+        labels = np.arange(90) % 4
+        bm = BitMatrix.from_graph(g)
+        rows, cols = g.edge_arrays()
+        same = labels[rows] == labels[cols]
+        expected = np.bincount(labels[rows[same]], minlength=4)
+        assert np.array_equal(bm.intra_community_edges(labels, 4), expected)
+
+    def test_singleton_and_empty_communities(self):
+        g = Graph(5, [(0, 1), (1, 2)])
+        labels = np.array([0, 0, 1, 2, 2])
+        counts = BitMatrix.from_graph(g).intra_community_edges(labels, 4)
+        assert counts.tolist() == [1, 0, 0, 0]
+
+
+class TestDispatch:
+    def _count_backends(self, monkeypatch):
+        calls = {"packed": 0, "sparse": 0}
+        real_packed, real_sparse = metrics._triangles_packed, metrics._triangles_sparse
+
+        def packed(graph):
+            calls["packed"] += 1
+            return real_packed(graph)
+
+        def sparse(graph):
+            calls["sparse"] += 1
+            return real_sparse(graph)
+
+        monkeypatch.setattr(metrics, "_triangles_packed", packed)
+        monkeypatch.setattr(metrics, "_triangles_sparse", sparse)
+        return calls
+
+    def test_low_epsilon_perturbed_graph_takes_packed_path(self, monkeypatch):
+        calls = self._count_backends(monkeypatch)
+        g = powerlaw_cluster_graph(150, 4, 0.5, rng=0)
+        perturbed = perturb_graph(g, 0.5, rng=1)
+        assert edge_density(perturbed) > DEFAULT_DENSITY_THRESHOLD
+        assert should_use_packed(perturbed)
+        triangles_per_node(perturbed)
+        assert calls == {"packed": 1, "sparse": 0}
+
+    def test_sparse_input_graph_takes_csr_path(self, monkeypatch):
+        calls = self._count_backends(monkeypatch)
+        g = powerlaw_cluster_graph(400, 4, 0.5, rng=0)  # density ~ 2m/n = 0.02
+        assert edge_density(g) < DEFAULT_DENSITY_THRESHOLD
+        assert not should_use_packed(g)
+        triangles_per_node(g)
+        assert calls == {"packed": 0, "sparse": 1}
+
+    def test_both_paths_equal_on_same_graph(self):
+        g = perturb_graph(powerlaw_cluster_graph(150, 4, 0.5, rng=0), 0.8, rng=2)
+        assert np.array_equal(metrics._triangles_packed(g), metrics._triangles_sparse(g))
+
+    def test_threshold_env_override(self, monkeypatch):
+        dense = perturb_graph(powerlaw_cluster_graph(100, 4, 0.5, rng=0), 0.5, rng=0)
+        assert should_use_packed(dense)
+        monkeypatch.setenv("REPRO_DENSE_THRESHOLD", "0.99")
+        assert density_threshold() == 0.99
+        assert not should_use_packed(dense)
+
+    def test_memory_cap_env_override(self, monkeypatch):
+        dense = perturb_graph(powerlaw_cluster_graph(100, 4, 0.5, rng=0), 0.5, rng=0)
+        monkeypatch.setenv("REPRO_DENSE_MAX_BYTES", "64")
+        assert not should_use_packed(dense)
+
+    def test_tiny_graphs_stay_sparse(self):
+        assert not should_use_packed(Graph(2, [(0, 1)]))
+        assert not should_use_packed(Graph(0))

@@ -191,3 +191,27 @@ class TestModularityEstimator:
         g = Graph(4)
         value = estimate_modularity(g, np.zeros(4, dtype=np.int64), 2.0, np.zeros(4))
         assert value == 0.0
+
+    def test_packed_and_sparse_paths_bit_identical(self, monkeypatch):
+        """The density dispatch must never change the modularity estimate."""
+        g = powerlaw_cluster_graph(150, 4, 0.5, rng=5)
+        perturbed = perturb_graph(g, 0.8, rng=1)  # near-dense: takes packed path
+        labels = (np.arange(150) % 6).astype(np.int64)
+        fused = perturbed.degrees().astype(np.float64)
+        monkeypatch.setenv("REPRO_DENSE_THRESHOLD", "0.000001")
+        packed = estimate_modularity(perturbed, labels, 0.8, fused)
+        monkeypatch.setenv("REPRO_DENSE_THRESHOLD", "1.1")
+        sparse = estimate_modularity(perturbed, labels, 0.8, fused)
+        assert packed == sparse
+
+
+class TestClusteringDispatchEquality:
+    def test_packed_and_sparse_paths_bit_identical(self, monkeypatch):
+        """Same floats out of Eq. 15 whichever triangle backend runs."""
+        g = powerlaw_cluster_graph(150, 4, 0.5, rng=6)
+        perturbed = perturb_graph(g, 0.6, rng=2)
+        monkeypatch.setenv("REPRO_DENSE_THRESHOLD", "0.000001")
+        packed = estimate_clustering_coefficients(perturbed, 0.6)
+        monkeypatch.setenv("REPRO_DENSE_THRESHOLD", "1.1")
+        sparse = estimate_clustering_coefficients(perturbed, 0.6)
+        assert np.array_equal(packed, sparse)
