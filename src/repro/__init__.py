@@ -52,6 +52,15 @@ from repro.engine import (
 from repro.graph import Graph, load_dataset
 from repro.ldp import KRR, OLH, OUE
 from repro.protocols import FakeReport, LDPGenProtocol, LFGDPRProtocol
+from repro.scenarios import (
+    SCENARIOS,
+    ScenarioResult,
+    ScenarioSpec,
+    SeriesSpec,
+    get_scenario,
+    register_scenario,
+    run_scenario,
+)
 
 __version__ = "1.0.0"
 
@@ -59,6 +68,13 @@ __all__ = [
     "ATTACKS",
     "DEFENSES",
     "PROTOCOLS",
+    "SCENARIOS",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "SeriesSpec",
+    "get_scenario",
+    "register_scenario",
+    "run_scenario",
     "ParallelExecutor",
     "ResultCache",
     "SerialExecutor",

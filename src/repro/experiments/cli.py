@@ -1,29 +1,40 @@
-"""Command-line interface: regenerate any paper artifact from the shell.
+"""Command-line interface: regenerate any paper artifact or scenario.
 
 Examples
 --------
 List everything that can be run::
 
     python -m repro list
+    python -m repro scenario list
 
 Regenerate Fig. 6 for the Facebook surrogate at a laptop-friendly scale::
 
     python -m repro fig6 --dataset facebook --scale 0.2 --trials 2
 
-Print Table II::
+Run a registered scenario (paper figure or cross-product extension) on four
+worker processes::
 
-    python -m repro table2
+    python -m repro scenario run xprod/protocol-duel-mga --jobs 4
+
+Record / verify the golden regression fixtures under ``tests/golden``::
+
+    python -m repro scenario record
+    python -m repro scenario check
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments import figures
 from repro.experiments.config import DATASET_NAMES, ExperimentConfig
 from repro.experiments.reporting import format_table
+from repro.scenarios import golden as golden_store
+from repro.scenarios.registry import SCENARIOS, get_scenario, scenario_names
+from repro.scenarios.run import run_scenario
 
 #: Figure drivers that take (dataset, config).
 _PER_DATASET: Dict[str, Callable] = {
@@ -52,22 +63,14 @@ _PROTOCOL_FIGURES: Dict[str, Callable] = {
 ARTIFACTS = ["table2", *_PER_DATASET, *_DEFENSE_FIGURES, *_PROTOCOL_FIGURES]
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Regenerate tables/figures of 'Data Poisoning Attacks to "
-        "LDP Protocols for Graphs' (ICDE 2025).",
-    )
-    parser.add_argument(
-        "artifact",
-        choices=["list", *ARTIFACTS],
-        help="which artifact to regenerate (or 'list' to enumerate them)",
-    )
+def _add_run_options(parser: argparse.ArgumentParser, dataset_default: Optional[str]) -> None:
+    """The shared experiment knobs (Table III defaults + engine backends)."""
     parser.add_argument(
         "--dataset",
-        default="facebook",
+        default=dataset_default,
         choices=DATASET_NAMES,
-        help="dataset surrogate (per-dataset figures only)",
+        help="dataset surrogate"
+        + ("" if dataset_default else " (default: the scenario's own dataset)"),
     )
     parser.add_argument(
         "--scale", type=float, default=None,
@@ -88,13 +91,204 @@ def build_parser() -> argparse.ArgumentParser:
         help="recompute every trial instead of reusing the on-disk result "
         "cache (see REPRO_CACHE_DIR)",
     )
+
+
+def _add_scenario_commands(subparsers) -> None:
+    """The ``scenario`` subcommand family (list / run / record / check)."""
+    scenario = subparsers.add_parser(
+        "scenario",
+        help="declarative scenarios: list, run, record or check goldens",
+        description="Work with the declarative scenario catalog "
+        "(repro.scenarios): paper figures and cross-product extensions "
+        "alike compile to engine task batches and share the golden-result "
+        "regression store under tests/golden/.",
+    )
+    actions = scenario.add_subparsers(dest="action", required=True)
+
+    lister = actions.add_parser(
+        "list",
+        help="enumerate registered scenarios",
+        description="List registered scenarios with their datasets, swept "
+        "parameter and tags.  Paper artifacts keep their figure names; "
+        "extensions live under xprod/.",
+    )
+    lister.add_argument("--tag", default="", help="only scenarios carrying this tag")
+    lister.add_argument(
+        "--extensions", action="store_true",
+        help="only cross-product scenarios the paper never ran",
+    )
+
+    runner = actions.add_parser(
+        "run",
+        help="run one scenario end to end and print its tables",
+        description="Compile a registered scenario into an engine task "
+        "batch, execute it (optionally parallel/cached) and print one table "
+        "per panel.",
+    )
+    runner.add_argument("name", help="registered scenario name (see 'scenario list')")
+    _add_run_options(runner, dataset_default=None)
+
+    recorder = actions.add_parser(
+        "record",
+        help="(re)write golden regression fixtures",
+        description="Run scenarios at the small golden configuration "
+        "(scale=0.02, trials=2, seed=0, cache off) and write their expected "
+        "means/stderrs and task-batch hashes to tests/golden/*.json.  With "
+        "no names, records every registered scenario.",
+    )
+    recorder.add_argument("names", nargs="*", help="scenario names (default: all)")
+    recorder.add_argument(
+        "--dir", default=None,
+        help="fixture directory (default: tests/golden, or $REPRO_GOLDEN_DIR)",
+    )
+    recorder.add_argument(
+        "--scale", type=float, default=golden_store.GOLDEN_CONFIG.scale,
+        help="recording scale (default: %(default)s)",
+    )
+    recorder.add_argument(
+        "--trials", type=int, default=golden_store.GOLDEN_CONFIG.trials,
+        help="recording trials (default: %(default)s)",
+    )
+    recorder.add_argument(
+        "--seed", type=int, default=golden_store.GOLDEN_CONFIG.seed,
+        help="recording root seed (default: %(default)s)",
+    )
+
+    checker = actions.add_parser(
+        "check",
+        help="replay scenarios against their golden fixtures",
+        description="Replay scenarios at each fixture's recorded "
+        "configuration (cache disabled) and report any drift in task "
+        "batches, means or standard errors.  Exit code 1 on mismatch.",
+    )
+    checker.add_argument("names", nargs="*", help="scenario names (default: all recorded)")
+    checker.add_argument(
+        "--dir", default=None,
+        help="fixture directory (default: tests/golden, or $REPRO_GOLDEN_DIR)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate tables/figures of 'Data Poisoning Attacks to "
+        "LDP Protocols for Graphs' (ICDE 2025), or run declarative scenarios "
+        "beyond the paper's grid.",
+    )
+    subparsers = parser.add_subparsers(dest="artifact", required=True)
+    subparsers.add_parser("list", help="enumerate the paper artifacts")
+    for name in ARTIFACTS:
+        helps = {
+            "table2": "dataset statistics",
+            **{fig: "per-dataset attack sweep (use --dataset)" for fig in _PER_DATASET},
+            **{fig: "countermeasure sweep (facebook)" for fig in _DEFENSE_FIGURES},
+            **{fig: "LF-GDPR vs LDPGen comparison" for fig in _PROTOCOL_FIGURES},
+        }
+        artifact = subparsers.add_parser(name, help=helps[name])
+        _add_run_options(artifact, dataset_default="facebook")
+    _add_scenario_commands(subparsers)
     return parser
+
+
+def _config_from(args) -> ExperimentConfig:
+    return ExperimentConfig(
+        beta=args.beta, gamma=args.gamma, epsilon=args.epsilon,
+        trials=args.trials, seed=args.seed, scale=args.scale,
+        jobs=args.jobs, cache=not args.no_cache,
+    )
+
+
+def _scenario_list(args, out) -> int:
+    names = scenario_names(paper=False if args.extensions else None, tag=args.tag)
+    if not names:
+        print("no scenarios match", file=out)
+        return 1
+    rows = []
+    for name in names:
+        spec = SCENARIOS.create(name)
+        rows.append(
+            [
+                name,
+                "paper" if spec.paper else "extension",
+                spec.dataset if spec.kind == "sweep" else "-",
+                spec.parameter if spec.kind == "sweep" else "-",
+                spec.description,
+            ]
+        )
+    print(
+        format_table(
+            ["scenario", "origin", "dataset", "sweeps", "description"],
+            rows,
+            title="registered scenarios",
+        ),
+        file=out,
+    )
+    return 0
+
+
+def _scenario_run(args, out) -> int:
+    spec = get_scenario(args.name, dataset=args.dataset or "")
+    result = run_scenario(spec, _config_from(args))
+    print(result.format(), file=out)
+    return 0
+
+
+def _scenario_record(args, out) -> int:
+    names = list(args.names) or list(SCENARIOS)
+    config = golden_store.GOLDEN_CONFIG.with_overrides(
+        scale=args.scale, trials=args.trials, seed=args.seed
+    )
+    directory = Path(args.dir) if args.dir else None
+    for name in names:
+        path = golden_store.record_golden(SCENARIOS.create(name), config, directory)
+        print(f"recorded {name} -> {path}", file=out)
+    return 0
+
+
+def _scenario_check(args, out) -> int:
+    directory = Path(args.dir) if args.dir else None
+    names = list(args.names)
+    if not names:
+        root = directory if directory is not None else golden_store.default_golden_dir()
+        names = [
+            name for name in SCENARIOS
+            if golden_store.golden_path(name, root).is_file()
+        ]
+    if not names:
+        print("no golden fixtures found; run 'scenario record' first", file=out)
+        return 1
+    failed = False
+    for name in names:
+        try:
+            problems = golden_store.check_golden(SCENARIOS.create(name), directory)
+        except FileNotFoundError:
+            failed = True
+            print(
+                f"MISSING {name} — no golden fixture; run 'scenario record {name}'",
+                file=out,
+            )
+            continue
+        status = "ok" if not problems else "DRIFT"
+        print(f"{status:<6} {name}", file=out)
+        for problem in problems:
+            failed = True
+            print(f"       {problem}", file=out)
+    return 1 if failed else 0
 
 
 def run(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """Entry point; returns a process exit code."""
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
+
+    if args.artifact == "scenario":
+        handler = {
+            "list": _scenario_list,
+            "run": _scenario_run,
+            "record": _scenario_record,
+            "check": _scenario_check,
+        }[args.action]
+        return handler(args, out)
 
     if args.artifact == "list":
         lines: List[str] = ["available artifacts:"]
@@ -105,14 +299,11 @@ def run(argv: Optional[Sequence[str]] = None, out=None) -> int:
             lines.append(f"  {name:<12} countermeasure sweep (facebook)")
         for name in _PROTOCOL_FIGURES:
             lines.append(f"  {name:<12} LF-GDPR vs LDPGen comparison")
+        lines.append("  scenario     declarative scenarios (list/run/record/check)")
         print("\n".join(lines), file=out)
         return 0
 
-    config = ExperimentConfig(
-        beta=args.beta, gamma=args.gamma, epsilon=args.epsilon,
-        trials=args.trials, seed=args.seed, scale=args.scale,
-        jobs=args.jobs, cache=not args.no_cache,
-    )
+    config = _config_from(args)
 
     if args.artifact == "table2":
         rows = figures.table2_rows(config)

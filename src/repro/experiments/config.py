@@ -15,7 +15,12 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional
 
-from repro.utils.validation import check_fraction, check_positive
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_positive_int,
+    check_scale,
+)
 
 
 @dataclass(frozen=True)
@@ -56,8 +61,10 @@ class ExperimentConfig:
         check_fraction(self.beta, "beta")
         check_fraction(self.gamma, "gamma")
         check_positive(self.epsilon, "epsilon")
-        check_positive(self.trials, "trials")
-        check_positive(self.jobs, "jobs")
+        check_positive_int(self.trials, "trials")
+        check_positive_int(self.jobs, "jobs")
+        if self.scale is not None:
+            check_scale(self.scale, "scale")
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
         """A copy with the given fields replaced."""

@@ -1,62 +1,69 @@
 """Per-figure experiment drivers: one function per table/figure of §VIII.
 
-Each driver loads the dataset surrogate, runs the sweep the figure plots and
-returns a :class:`~repro.experiments.runner.SweepResult` (or a dict of them
-for the two-panel figures).  The benchmark modules under ``benchmarks/``
-call these and print the resulting tables; EXPERIMENTS.md records how the
-shapes compare with the paper.
+Every driver is now a thin wrapper over the declarative scenario subsystem:
+the figure's full description (dataset, metric, swept grid, attack ×
+protocol × defense series) lives in :mod:`repro.scenarios.catalog`, and each
+function here just resolves the registered spec and runs it through
+:func:`repro.scenarios.run_scenario`.  Outputs are bit-identical to the
+historical hand-written drivers — the scenario compiler reproduces their
+seed-derivation keys exactly, and the golden fixtures under ``tests/golden``
+pin that equivalence.
+
+The benchmark modules under ``benchmarks/`` call these and print the
+resulting tables; EXPERIMENTS.md records how the shapes compare with the
+paper.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence, Tuple
+from dataclasses import replace
+from typing import Dict, List, Sequence, Tuple
 
-import numpy as np
+from repro.experiments.config import DEFAULT_CONFIG, EPSILONS, ExperimentConfig
+from repro.experiments.runner import SweepResult
 
-from repro.core.base import Attack
-from repro.core.degree_attacks import DegreeMGA, DegreeRVA
-from repro.core.clustering_attacks import ClusteringMGA, ClusteringRVA
-from repro.engine.executors import cache_for, executor_for, run_tasks
-from repro.engine.registry import ATTACKS
-from repro.engine.tasks import TrialTask, derive_trial_seed, graph_fingerprint
-from repro.experiments.config import (
-    BETAS,
-    DATASET_NAMES,
-    DEFAULT_CONFIG,
-    DETECT1_THRESHOLDS_CLUSTERING,
-    DETECT1_THRESHOLDS_DEGREE,
-    DETECT2_BETAS,
-    EPSILONS,
-    GAMMAS,
-    ExperimentConfig,
-)
-from repro.experiments.runner import SweepResult, run_attack_sweep
-from repro.graph.adjacency import Graph
-from repro.graph.datasets import DATASETS, load_dataset
-from repro.protocols.ldpgen import LDPGenProtocol
-from repro.protocols.lfgdpr import LFGDPRProtocol
+# NOTE: repro.scenarios is imported lazily inside the drivers.  The scenario
+# subsystem builds on the experiment layer (config, runner, reporting), while
+# this module is the experiment layer's figure-level facade over scenarios —
+# a module-level import in either direction would be circular.
+
+__all__ = [
+    "community_labels",
+    "table2_rows",
+    "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "fig12a", "fig12b", "fig13a", "fig13b", "fig14", "fig15",
+]
 
 
-def _load(dataset: str, config: ExperimentConfig) -> Graph:
-    return load_dataset(dataset, scale=config.scale, rng=config.seed)
-
-
-def community_labels(graph: Graph) -> np.ndarray:
+def community_labels(graph):
     """Greedy-modularity community labelling of the original graph.
 
     LF-GDPR's modularity estimator needs a server-held partition; the paper
     does not specify one, so we fix the standard greedy-modularity partition
     (DESIGN.md §2).
     """
-    import networkx as nx
+    from repro.scenarios.run import community_labels as _community_labels
 
-    communities = nx.algorithms.community.greedy_modularity_communities(
-        graph.to_networkx()
-    )
-    labels = np.zeros(graph.num_nodes, dtype=np.int64)
-    for community_id, members in enumerate(communities):
-        labels[list(members)] = community_id
-    return labels
+    return _community_labels(graph)
+
+
+def _sweep(name: str, dataset: str, config: ExperimentConfig) -> SweepResult:
+    """Run a single-panel registered scenario and unwrap its sweep."""
+    from repro.scenarios import get_scenario, run_scenario
+
+    return run_scenario(get_scenario(name, dataset=dataset), config).sweep()
+
+
+def _panels(
+    name: str, dataset: str, config: ExperimentConfig, epsilons: Sequence[float]
+) -> Dict[str, SweepResult]:
+    """Run a protocol-comparison scenario; one sweep per protocol panel."""
+    from repro.scenarios import get_scenario, run_scenario
+
+    spec = get_scenario(name, dataset=dataset)
+    if tuple(epsilons) != spec.values:
+        spec = replace(spec, values=tuple(float(e) for e in epsilons))
+    return dict(run_scenario(spec, config).panels)
 
 
 # ---------------------------------------------------------------------------
@@ -64,12 +71,9 @@ def community_labels(graph: Graph) -> np.ndarray:
 # ---------------------------------------------------------------------------
 def table2_rows(config: ExperimentConfig = DEFAULT_CONFIG) -> List[Tuple[str, int, int, int, int]]:
     """(dataset, paper nodes, paper edges, surrogate nodes, surrogate edges)."""
-    rows = []
-    for name in DATASET_NAMES:
-        spec = DATASETS[name]
-        graph = _load(name, config)
-        rows.append((name, spec.paper_nodes, spec.paper_edges, graph.num_nodes, graph.num_edges))
-    return rows
+    from repro.scenarios import get_scenario, run_scenario
+
+    return list(run_scenario(get_scenario("table2"), config).table)
 
 
 # ---------------------------------------------------------------------------
@@ -77,26 +81,17 @@ def table2_rows(config: ExperimentConfig = DEFAULT_CONFIG) -> List[Tuple[str, in
 # ---------------------------------------------------------------------------
 def fig6(dataset: str, config: ExperimentConfig = DEFAULT_CONFIG) -> SweepResult:
     """Overall gains of attacks to degree centrality vs epsilon."""
-    return run_attack_sweep(
-        _load(dataset, config), dataset, "degree_centrality", "epsilon",
-        EPSILONS, config, figure="Fig6",
-    )
+    return _sweep("fig6", dataset, config)
 
 
 def fig7(dataset: str, config: ExperimentConfig = DEFAULT_CONFIG) -> SweepResult:
     """Impact of beta on attacks to degree centrality."""
-    return run_attack_sweep(
-        _load(dataset, config), dataset, "degree_centrality", "beta",
-        BETAS, config, figure="Fig7",
-    )
+    return _sweep("fig7", dataset, config)
 
 
 def fig8(dataset: str, config: ExperimentConfig = DEFAULT_CONFIG) -> SweepResult:
     """Impact of gamma on attacks to degree centrality."""
-    return run_attack_sweep(
-        _load(dataset, config), dataset, "degree_centrality", "gamma",
-        GAMMAS, config, figure="Fig8",
-    )
+    return _sweep("fig8", dataset, config)
 
 
 # ---------------------------------------------------------------------------
@@ -104,214 +99,52 @@ def fig8(dataset: str, config: ExperimentConfig = DEFAULT_CONFIG) -> SweepResult
 # ---------------------------------------------------------------------------
 def fig9(dataset: str, config: ExperimentConfig = DEFAULT_CONFIG) -> SweepResult:
     """Overall gains of attacks to clustering coefficient vs epsilon."""
-    return run_attack_sweep(
-        _load(dataset, config), dataset, "clustering_coefficient", "epsilon",
-        EPSILONS, config, figure="Fig9",
-    )
+    return _sweep("fig9", dataset, config)
 
 
 def fig10(dataset: str, config: ExperimentConfig = DEFAULT_CONFIG) -> SweepResult:
     """Impact of beta on attacks to clustering coefficient."""
-    return run_attack_sweep(
-        _load(dataset, config), dataset, "clustering_coefficient", "beta",
-        BETAS, config, figure="Fig10",
-    )
+    return _sweep("fig10", dataset, config)
 
 
 def fig11(dataset: str, config: ExperimentConfig = DEFAULT_CONFIG) -> SweepResult:
     """Impact of gamma on attacks to clustering coefficient."""
-    return run_attack_sweep(
-        _load(dataset, config), dataset, "clustering_coefficient", "gamma",
-        GAMMAS, config, figure="Fig11",
-    )
+    return _sweep("fig11", dataset, config)
 
 
 # ---------------------------------------------------------------------------
 # Figs. 12-13: countermeasures (Exps 7-8)
 # ---------------------------------------------------------------------------
-def _defense_trials(
-    graph_key: str,
-    metric: str,
-    attack: str,
-    defense: str,
-    defense_args: tuple,
-    beta: float,
-    config: ExperimentConfig,
-    figure: str,
-    series: str,
-    parameter: str,
-    value: float,
-    seed_key: str,
-) -> List[TrialTask]:
-    """The per-trial task list for one (defense, point) of Figs. 12-13."""
-    return [
-        TrialTask(
-            graph_key=graph_key,
-            metric=metric,
-            attack=attack,
-            protocol="lfgdpr",
-            epsilon=config.epsilon,
-            beta=beta,
-            gamma=config.gamma,
-            seed=derive_trial_seed(config.seed, f"{figure}|{seed_key}|trial={trial}"),
-            defense=defense,
-            defense_args=defense_args,
-            figure=figure,
-            series=series,
-            parameter=parameter,
-            value=float(value),
-            trial=trial,
-        )
-        for trial in range(config.trials)
-    ]
-
-
-def _defense_threshold_sweep(
-    metric: str,
-    attack_factory: Callable[[], Attack],
-    thresholds: Sequence[int],
-    dataset: str,
-    config: ExperimentConfig,
-    figure: str,
-) -> SweepResult:
-    """Detect1 vs Naive1 vs no defense across the Detect1 threshold.
-
-    The whole sweep is flattened into one engine batch: the threshold only
-    affects Detect1, so NoDefense and Naive1 are measured once and replicated
-    across the threshold grid (as in the paper's flat reference lines).
-    """
-    graph = _load(dataset, config)
-    graph_key = graph_fingerprint(graph)
-    attack = ATTACKS.resolve(attack_factory)
-    common = dict(
-        graph_key=graph_key, metric=metric, attack=attack, beta=config.beta,
-        config=config, figure=figure, parameter="threshold",
-    )
-    none_tasks = _defense_trials(
-        defense="", defense_args=(), series="NoDefense", value=0.0,
-        seed_key="NoDefense", **common,
-    )
-    naive_tasks = _defense_trials(
-        defense="naive1", defense_args=(), series="Naive1", value=0.0,
-        seed_key="Naive1", **common,
-    )
-    detect_tasks = {
-        threshold: _defense_trials(
-            defense="detect1", defense_args=(("threshold", int(threshold)),),
-            series="Detect1", value=float(threshold),
-            seed_key=f"Detect1|threshold={threshold}", **common,
-        )
-        for threshold in thresholds
-    }
-    batch = none_tasks + naive_tasks + [t for tasks in detect_tasks.values() for t in tasks]
-    gains = dict(
-        zip(batch, run_tasks(batch, graph, executor=executor_for(config), cache=cache_for(config)))
-    )
-    result = SweepResult(
-        figure=figure, dataset=dataset, metric=metric, parameter="threshold",
-        values=list(thresholds),
-    )
-    for threshold in thresholds:
-        result.add_point("NoDefense", [gains[t] for t in none_tasks])
-        result.add_point("Detect1", [gains[t] for t in detect_tasks[threshold]])
-        result.add_point("Naive1", [gains[t] for t in naive_tasks])
-    return result
-
-
-def _defense_beta_sweep(
-    metric: str,
-    attack_factory: Callable[[], Attack],
-    betas: Sequence[float],
-    dataset: str,
-    config: ExperimentConfig,
-    figure: str,
-) -> SweepResult:
-    """Detect2 vs Naive2 vs no defense across the fake-user fraction."""
-    graph = _load(dataset, config)
-    graph_key = graph_fingerprint(graph)
-    attack = ATTACKS.resolve(attack_factory)
-    plan = {"NoDefense": "", "Detect2": "detect2", "Naive2": "naive2"}
-    tasks = {
-        (series, beta): _defense_trials(
-            graph_key=graph_key, metric=metric, attack=attack, defense=defense,
-            defense_args=(), beta=beta, config=config, figure=figure,
-            series=series, parameter="beta", value=float(beta),
-            seed_key=f"{series}|beta={beta}",
-        )
-        for series, defense in plan.items()
-        for beta in betas
-    }
-    batch = [task for point in tasks.values() for task in point]
-    gains = dict(
-        zip(batch, run_tasks(batch, graph, executor=executor_for(config), cache=cache_for(config)))
-    )
-    result = SweepResult(
-        figure=figure, dataset=dataset, metric=metric, parameter="beta",
-        values=list(betas),
-    )
-    for beta in betas:
-        for series in plan:
-            result.add_point(series, [gains[t] for t in tasks[(series, beta)]])
-    return result
-
-
 def fig12a(config: ExperimentConfig = DEFAULT_CONFIG, dataset: str = "facebook") -> SweepResult:
     """Detect1/Naive1 against MGA on degree centrality vs threshold."""
-    return _defense_threshold_sweep(
-        "degree_centrality", DegreeMGA, DETECT1_THRESHOLDS_DEGREE, dataset, config, "Fig12a"
-    )
+    return _sweep("fig12a", dataset, config)
 
 
 def fig12b(config: ExperimentConfig = DEFAULT_CONFIG, dataset: str = "facebook") -> SweepResult:
     """Detect2/Naive2 against RVA on degree centrality vs beta."""
-    return _defense_beta_sweep(
-        "degree_centrality", DegreeRVA, DETECT2_BETAS, dataset, config, "Fig12b"
-    )
+    return _sweep("fig12b", dataset, config)
 
 
 def fig13a(config: ExperimentConfig = DEFAULT_CONFIG, dataset: str = "facebook") -> SweepResult:
     """Detect1/Naive1 against MGA on clustering coefficient vs threshold."""
-    return _defense_threshold_sweep(
-        "clustering_coefficient", ClusteringMGA, DETECT1_THRESHOLDS_CLUSTERING,
-        dataset, config, "Fig13a",
-    )
+    return _sweep("fig13a", dataset, config)
 
 
 def fig13b(config: ExperimentConfig = DEFAULT_CONFIG, dataset: str = "facebook") -> SweepResult:
     """Detect2/Naive2 against RVA on clustering coefficient vs beta."""
-    return _defense_beta_sweep(
-        "clustering_coefficient", ClusteringRVA, DETECT2_BETAS, dataset, config, "Fig13b"
-    )
+    return _sweep("fig13b", dataset, config)
 
 
 # ---------------------------------------------------------------------------
 # Figs. 14-15: LF-GDPR vs LDPGen (Exp 9)
 # ---------------------------------------------------------------------------
-def _protocol_comparison(
-    metric: str,
-    dataset: str,
-    config: ExperimentConfig,
-    figure: str,
-    epsilons: Sequence[float] = EPSILONS,
-) -> Dict[str, SweepResult]:
-    graph = _load(dataset, config)
-    labels = community_labels(graph) if metric == "modularity" else None
-    results = {}
-    for name, factory in (("LF-GDPR", LFGDPRProtocol), ("LDPGen", LDPGenProtocol)):
-        results[name] = run_attack_sweep(
-            graph, dataset, metric, "epsilon", epsilons, config,
-            protocol_factory=factory, labels=labels, figure=f"{figure}-{name}",
-        )
-    return results
-
-
 def fig14(
     config: ExperimentConfig = DEFAULT_CONFIG,
     dataset: str = "facebook",
     epsilons: Sequence[float] = EPSILONS,
 ) -> Dict[str, SweepResult]:
     """Attacks on LF-GDPR and LDPGen: clustering coefficient vs epsilon."""
-    return _protocol_comparison("clustering_coefficient", dataset, config, "Fig14", epsilons)
+    return _panels("fig14", dataset, config, epsilons)
 
 
 def fig15(
@@ -320,4 +153,4 @@ def fig15(
     epsilons: Sequence[float] = EPSILONS,
 ) -> Dict[str, SweepResult]:
     """Attacks on LF-GDPR and LDPGen: modularity vs epsilon."""
-    return _protocol_comparison("modularity", dataset, config, "Fig15", epsilons)
+    return _panels("fig15", dataset, config, epsilons)

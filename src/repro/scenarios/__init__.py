@@ -1,0 +1,71 @@
+"""Declarative scenarios: frozen experiment specs compiled to engine tasks.
+
+A *scenario* describes one experiment — a paper figure or any cross-product
+workload — as plain values (dataset, metric, swept parameter, grid, series
+of attack × protocol × defense).  The subsystem splits cleanly:
+
+* :mod:`repro.scenarios.spec` — the frozen data model;
+* :mod:`repro.scenarios.compiler` — lowering specs to
+  :class:`~repro.engine.tasks.TrialTask` batches (seed-key compatible with
+  the historical figure drivers, so outputs stay bit-identical);
+* :mod:`repro.scenarios.run` — load/compile/execute/aggregate;
+* :mod:`repro.scenarios.registry` — the string-keyed catalog lookup;
+* :mod:`repro.scenarios.catalog` — every registered scenario;
+* :mod:`repro.scenarios.golden` — the golden-result regression store.
+
+Quickstart::
+
+    from repro.scenarios import get_scenario, run_scenario
+    from repro.experiments.config import ExperimentConfig
+
+    spec = get_scenario("fig6", dataset="enron")
+    result = run_scenario(spec, ExperimentConfig(trials=2, scale=0.05, jobs=4))
+    print(result.sweep().format())
+"""
+
+from repro.scenarios.compiler import compile_scenario
+from repro.scenarios.golden import (
+    GOLDEN_CONFIG,
+    check_golden,
+    default_golden_dir,
+    golden_path,
+    load_golden,
+    record_golden,
+)
+from repro.scenarios.registry import (
+    SCENARIOS,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+from repro.scenarios.run import (
+    ScenarioResult,
+    community_labels,
+    prepare_scenario,
+    run_scenario,
+)
+from repro.scenarios.spec import PanelSpec, ScenarioSpec, SeriesSpec
+
+# Importing the catalog registers every shipped scenario.
+from repro.scenarios import catalog  # noqa: F401  (import for side effect)
+
+__all__ = [
+    "GOLDEN_CONFIG",
+    "PanelSpec",
+    "SCENARIOS",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "SeriesSpec",
+    "check_golden",
+    "community_labels",
+    "compile_scenario",
+    "default_golden_dir",
+    "get_scenario",
+    "golden_path",
+    "load_golden",
+    "prepare_scenario",
+    "record_golden",
+    "register_scenario",
+    "run_scenario",
+    "scenario_names",
+]

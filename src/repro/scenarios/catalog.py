@@ -1,0 +1,300 @@
+"""The scenario catalog: every paper artifact plus cross-product extensions.
+
+Importing this module (which ``repro.scenarios`` does eagerly) registers
+each spec in :data:`~repro.scenarios.registry.SCENARIOS`.  A paper figure is
+a ~10-line declaration here; adding a workload the paper never ran is a
+one-liner combining registered attacks, protocols and defenses.
+
+Naming: paper artifacts keep their figure names (``fig6`` ... ``fig15``,
+``table2``); extensions live under ``xprod/`` to make their non-paper status
+obvious in ``scenario list`` output.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.experiments.config import (
+    BETAS,
+    DATASET_NAMES,
+    DETECT1_THRESHOLDS_CLUSTERING,
+    DETECT1_THRESHOLDS_DEGREE,
+    DETECT2_BETAS,
+    EPSILONS,
+    GAMMAS,
+)
+from repro.scenarios.registry import register_scenario
+from repro.scenarios.spec import (
+    SWEEP_DEFENSE_ARG,
+    SWEEP_FLAT,
+    PanelSpec,
+    ScenarioSpec,
+    SeriesSpec,
+)
+
+#: The paper's attack series, in presentation order, per metric family.
+DEGREE_SERIES = tuple(
+    SeriesSpec(name=name, attack=f"degree/{name.lower()}") for name in ("RVA", "RNA", "MGA")
+)
+CLUSTERING_SERIES = tuple(
+    SeriesSpec(name=name, attack=f"clustering/{name.lower()}")
+    for name in ("RVA", "RNA", "MGA")
+)
+
+
+def _attack_sweep(
+    name: str,
+    figure: str,
+    description: str,
+    metric: str,
+    parameter: str,
+    values: Tuple[float, ...],
+    series: Tuple[SeriesSpec, ...],
+    tags: Tuple[str, ...],
+) -> ScenarioSpec:
+    """One Figs. 6-11 style sweep: three attacks, one swept point parameter."""
+    return register_scenario(
+        ScenarioSpec(
+            name=name,
+            description=description,
+            metric=metric,
+            parameter=parameter,
+            values=values,
+            panels=(PanelSpec(figure=figure, series=series),),
+            tags=tags,
+        )
+    )
+
+
+def _defense_threshold(
+    name: str, figure: str, description: str, metric: str, attack: str,
+    thresholds: Tuple[int, ...],
+) -> ScenarioSpec:
+    """One Figs. 12(a)/13(a) panel: Detect1 vs Naive1 vs no defense."""
+    return register_scenario(
+        ScenarioSpec(
+            name=name,
+            description=description,
+            metric=metric,
+            parameter="threshold",
+            values=thresholds,
+            seed_style="defense",
+            panels=(
+                PanelSpec(
+                    figure=figure,
+                    series=(
+                        SeriesSpec(name="NoDefense", attack=attack, sweep=SWEEP_FLAT),
+                        SeriesSpec(
+                            name="Detect1", attack=attack, defense="detect1",
+                            sweep=SWEEP_DEFENSE_ARG, sweep_arg="threshold",
+                        ),
+                        SeriesSpec(
+                            name="Naive1", attack=attack, defense="naive1",
+                            sweep=SWEEP_FLAT,
+                        ),
+                    ),
+                ),
+            ),
+            tags=("defense",),
+        )
+    )
+
+
+def _defense_beta(
+    name: str, figure: str, description: str, metric: str, attack: str
+) -> ScenarioSpec:
+    """One Figs. 12(b)/13(b) panel: Detect2 vs Naive2 vs no defense over beta."""
+    return register_scenario(
+        ScenarioSpec(
+            name=name,
+            description=description,
+            metric=metric,
+            parameter="beta",
+            values=DETECT2_BETAS,
+            seed_style="defense",
+            panels=(
+                PanelSpec(
+                    figure=figure,
+                    series=(
+                        SeriesSpec(name="NoDefense", attack=attack),
+                        SeriesSpec(name="Detect2", attack=attack, defense="detect2"),
+                        SeriesSpec(name="Naive2", attack=attack, defense="naive2"),
+                    ),
+                ),
+            ),
+            tags=("defense",),
+        )
+    )
+
+
+def _protocol_panels(
+    name: str, figure: str, description: str, metric: str
+) -> ScenarioSpec:
+    """One Figs. 14/15 comparison: the attack trio on LF-GDPR and on LDPGen."""
+    panels = tuple(
+        PanelSpec(
+            figure=f"{figure}-{panel}",
+            name=panel,
+            series=tuple(
+                SeriesSpec(name=s.name, attack=s.attack, protocol=protocol)
+                for s in CLUSTERING_SERIES
+            ),
+        )
+        for panel, protocol in (("LF-GDPR", "lfgdpr"), ("LDPGen", "ldpgen"))
+    )
+    return register_scenario(
+        ScenarioSpec(
+            name=name,
+            description=description,
+            metric=metric,
+            parameter="epsilon",
+            values=EPSILONS,
+            panels=panels,
+            tags=("protocols",),
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# Paper artifacts (Table II and Figs. 6-15)
+# ---------------------------------------------------------------------------
+TABLE2 = register_scenario(
+    ScenarioSpec(
+        name="table2",
+        description="Table II — dataset statistics (paper vs surrogate)",
+        kind="stats",
+        datasets=DATASET_NAMES,
+    )
+)
+
+FIG6 = _attack_sweep(
+    "fig6", "Fig6", "Fig. 6 — attacks to degree centrality vs epsilon",
+    "degree_centrality", "epsilon", EPSILONS, DEGREE_SERIES, ("degree",),
+)
+FIG7 = _attack_sweep(
+    "fig7", "Fig7", "Fig. 7 — impact of beta on degree-centrality attacks",
+    "degree_centrality", "beta", BETAS, DEGREE_SERIES, ("degree",),
+)
+FIG8 = _attack_sweep(
+    "fig8", "Fig8", "Fig. 8 — impact of gamma on degree-centrality attacks",
+    "degree_centrality", "gamma", GAMMAS, DEGREE_SERIES, ("degree",),
+)
+FIG9 = _attack_sweep(
+    "fig9", "Fig9", "Fig. 9 — attacks to clustering coefficient vs epsilon",
+    "clustering_coefficient", "epsilon", EPSILONS, CLUSTERING_SERIES,
+    ("clustering",),
+)
+FIG10 = _attack_sweep(
+    "fig10", "Fig10", "Fig. 10 — impact of beta on clustering attacks",
+    "clustering_coefficient", "beta", BETAS, CLUSTERING_SERIES,
+    ("clustering",),
+)
+FIG11 = _attack_sweep(
+    "fig11", "Fig11", "Fig. 11 — impact of gamma on clustering attacks",
+    "clustering_coefficient", "gamma", GAMMAS, CLUSTERING_SERIES,
+    ("clustering",),
+)
+
+FIG12A = _defense_threshold(
+    "fig12a", "Fig12a", "Fig. 12(a) — Detect1 vs MGA on degree centrality",
+    "degree_centrality", "degree/mga", DETECT1_THRESHOLDS_DEGREE,
+)
+FIG12B = _defense_beta(
+    "fig12b", "Fig12b", "Fig. 12(b) — Detect2 vs RVA on degree centrality",
+    "degree_centrality", "degree/rva",
+)
+FIG13A = _defense_threshold(
+    "fig13a", "Fig13a", "Fig. 13(a) — Detect1 vs MGA on clustering coefficient",
+    "clustering_coefficient", "clustering/mga", DETECT1_THRESHOLDS_CLUSTERING,
+)
+FIG13B = _defense_beta(
+    "fig13b", "Fig13b", "Fig. 13(b) — Detect2 vs RVA on clustering coefficient",
+    "clustering_coefficient", "clustering/rva",
+)
+
+FIG14 = _protocol_panels(
+    "fig14", "Fig14", "Fig. 14 — LF-GDPR vs LDPGen, clustering coefficient",
+    "clustering_coefficient",
+)
+FIG15 = _protocol_panels(
+    "fig15", "Fig15", "Fig. 15 — LF-GDPR vs LDPGen, modularity",
+    "modularity",
+)
+
+# ---------------------------------------------------------------------------
+# Cross-product extensions (workloads the paper never ran)
+# ---------------------------------------------------------------------------
+UNTARGETED_HYBRID = register_scenario(
+    ScenarioSpec(
+        name="xprod/untargeted-vs-hybrid",
+        description="Untargeted attack family with and without the hybrid defense",
+        metric="degree_centrality",
+        parameter="epsilon",
+        values=(1.0, 2.0, 4.0, 8.0),
+        panels=(
+            PanelSpec(
+                figure="XUntargetedHybrid",
+                series=tuple(
+                    SeriesSpec(name=f"{label}{suffix}", attack=attack, defense=defense)
+                    for label, attack in (
+                        ("U-Uniform", "untargeted/uniform"),
+                        ("U-Concentrated", "untargeted/concentrated"),
+                        ("U-Withdrawal", "untargeted/withdrawal"),
+                    )
+                    for suffix, defense in (("", ""), ("+Hybrid", "hybrid"))
+                ),
+            ),
+        ),
+        paper=False,
+        tags=("untargeted", "defense"),
+    )
+)
+
+PROTOCOL_DUEL_MGA = register_scenario(
+    ScenarioSpec(
+        name="xprod/protocol-duel-mga",
+        description="LDPGen vs LF-GDPR under MGA at matched privacy budgets",
+        metric="degree_centrality",
+        parameter="epsilon",
+        values=EPSILONS,
+        panels=(
+            PanelSpec(
+                figure="XProtocolDuelMGA",
+                series=(
+                    SeriesSpec(name="LF-GDPR/MGA", attack="degree/mga", protocol="lfgdpr"),
+                    SeriesSpec(name="LDPGen/MGA", attack="degree/mga", protocol="ldpgen"),
+                ),
+            ),
+        ),
+        paper=False,
+        tags=("protocols",),
+    )
+)
+
+DEFENSE_MATRIX_MGA = register_scenario(
+    ScenarioSpec(
+        name="xprod/defense-matrix-mga",
+        description="Every registered defense against clustering MGA across beta",
+        metric="clustering_coefficient",
+        parameter="beta",
+        values=BETAS,
+        panels=(
+            PanelSpec(
+                figure="XDefenseMatrixMGA",
+                series=(
+                    SeriesSpec(name="NoDefense", attack="clustering/mga"),
+                    SeriesSpec(
+                        name="Detect1", attack="clustering/mga", defense="detect1",
+                        defense_args=(("threshold", 100),),
+                    ),
+                    SeriesSpec(name="Detect2", attack="clustering/mga", defense="detect2"),
+                    SeriesSpec(name="Naive1", attack="clustering/mga", defense="naive1"),
+                    SeriesSpec(name="Naive2", attack="clustering/mga", defense="naive2"),
+                    SeriesSpec(name="Hybrid", attack="clustering/mga", defense="hybrid"),
+                ),
+            ),
+        ),
+        paper=False,
+        tags=("defense",),
+    )
+)

@@ -1,0 +1,58 @@
+"""The scenario registry: name -> frozen :class:`ScenarioSpec`.
+
+Built on the same :class:`~repro.engine.registry.Registry` machinery the
+engine uses for attacks/protocols/defenses, so scenarios get the identical
+semantics — string-keyed, collision-checked, addressable from configs and
+the CLI.  Registration eagerly validates every component name against the
+engine registries: a typo in a catalog entry fails at import time, not at
+the eventual run.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.engine.registry import Registry
+from repro.scenarios.spec import ScenarioSpec
+
+#: Registered scenarios.  Factories are zero-argument spec builders, so
+#: ``SCENARIOS.create(name)`` yields a fresh (immutable) spec.
+SCENARIOS = Registry("scenario")
+
+
+def register_scenario(spec: ScenarioSpec) -> ScenarioSpec:
+    """Register ``spec`` under its own name; returns it for chaining."""
+    spec.validate_registries()
+    SCENARIOS.register(spec.name, _SpecFactory(spec))
+    return spec
+
+
+class _SpecFactory:
+    """Zero-argument factory wrapping one spec (registries store callables)."""
+
+    def __init__(self, spec: ScenarioSpec):
+        self.spec = spec
+
+    def __call__(self) -> ScenarioSpec:
+        return self.spec
+
+
+def get_scenario(name: str, dataset: str = "") -> ScenarioSpec:
+    """The registered spec, optionally retargeted at another dataset."""
+    spec = SCENARIOS.create(name)
+    if dataset and dataset != spec.dataset:
+        spec = spec.on_dataset(dataset)
+    return spec
+
+
+def scenario_names(paper: bool = None, tag: str = "") -> List[str]:
+    """Registered names, optionally filtered by paper-ness and tag."""
+    names = []
+    for name in SCENARIOS:
+        spec = SCENARIOS.create(name)
+        if paper is not None and spec.paper is not paper:
+            continue
+        if tag and tag not in spec.effective_tags():
+            continue
+        names.append(name)
+    return names

@@ -1,0 +1,159 @@
+"""Running a scenario end to end: load, compile, execute, aggregate.
+
+:func:`run_scenario` is the single entry point every consumer shares — the
+figure drivers in :mod:`repro.experiments.figures`, the ``scenario`` CLI
+subcommands, the golden-result harness and the benchmarks.  All panels of a
+scenario are flattened into **one** engine batch, so a multi-panel figure
+(Fig. 14's LF-GDPR and LDPGen panels) parallelises across panels instead of
+running them back to back.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.executors import CacheLike, Executor, cache_for, executor_for, run_tasks
+from repro.engine.tasks import TrialTask
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import SweepResult
+from repro.graph.adjacency import Graph
+from repro.graph.datasets import DATASETS, load_dataset
+from repro.scenarios.compiler import FLAT_VALUE, compile_scenario
+from repro.scenarios.spec import SWEEP_FLAT, ScenarioSpec
+
+
+def load_scenario_graph(spec: ScenarioSpec, config: ExperimentConfig) -> Graph:
+    """The dataset surrogate a scenario runs on (same loading as the figures)."""
+    return load_dataset(spec.dataset, scale=config.scale, rng=config.seed)
+
+
+def community_labels(graph: Graph) -> np.ndarray:
+    """Greedy-modularity community labelling of the original graph.
+
+    LF-GDPR's modularity estimator needs a server-held partition; the paper
+    does not specify one, so we fix the standard greedy-modularity partition
+    (DESIGN.md §2).
+    """
+    import networkx as nx
+
+    communities = nx.algorithms.community.greedy_modularity_communities(
+        graph.to_networkx()
+    )
+    labels = np.zeros(graph.num_nodes, dtype=np.int64)
+    for community_id, members in enumerate(communities):
+        labels[list(members)] = community_id
+    return labels
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one scenario run produced.
+
+    ``panels`` maps panel keys to their :class:`SweepResult`; single-panel
+    scenarios are unwrapped with :meth:`sweep`.  ``table`` holds the rows of
+    a ``stats`` scenario (Table II) and is None otherwise.
+    """
+
+    spec: ScenarioSpec
+    panels: "OrderedDict[str, SweepResult]" = field(default_factory=OrderedDict)
+    table: Optional[List[Tuple]] = None
+
+    def sweep(self) -> SweepResult:
+        """The lone panel's sweep; raises if the scenario is multi-panel."""
+        if len(self.panels) != 1:
+            keys = ", ".join(self.panels) or "<none>"
+            raise ValueError(
+                f"scenario {self.spec.name!r} has panels {keys}; pick one explicitly"
+            )
+        return next(iter(self.panels.values()))
+
+    def format(self) -> str:
+        """All panels (or the stats table) rendered for the terminal."""
+        if self.table is not None:
+            return format_table(
+                ["dataset", "paper nodes", "paper edges", "surrogate nodes", "surrogate edges"],
+                self.table,
+                title=self.spec.description or self.spec.name,
+            )
+        return "\n\n".join(panel.format() for panel in self.panels.values())
+
+
+def _dataset_stats(spec: ScenarioSpec, config: ExperimentConfig) -> List[Tuple]:
+    """Rows of a ``stats`` scenario: paper vs surrogate node/edge counts."""
+    rows = []
+    for name in spec.datasets or (spec.dataset,):
+        dataset = DATASETS[name]
+        graph = load_dataset(name, scale=config.scale, rng=config.seed)
+        rows.append(
+            (name, dataset.paper_nodes, dataset.paper_edges, graph.num_nodes, graph.num_edges)
+        )
+    return rows
+
+
+#: A compiled sweep scenario ready to execute: (graph, labels, task batch).
+PreparedScenario = Tuple[Graph, Optional["np.ndarray"], List["TrialTask"]]
+
+
+def prepare_scenario(spec: ScenarioSpec, config: ExperimentConfig) -> PreparedScenario:
+    """Load the graph, derive labels if needed, and compile the task batch.
+
+    Exposed so callers that need the compiled batch *and* the run (the
+    golden store hashes task identities) prepare once instead of twice —
+    dataset loading and greedy-modularity labelling are the expensive parts.
+    """
+    graph = load_scenario_graph(spec, config)
+    labels = community_labels(graph) if spec.metric == "modularity" else None
+    return graph, labels, compile_scenario(spec, graph, config, labels=labels)
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    executor: Optional[Executor] = None,
+    cache: Optional[CacheLike] = None,
+    prepared: Optional[PreparedScenario] = None,
+) -> ScenarioResult:
+    """Execute ``spec`` through the engine and aggregate its result curves.
+
+    ``executor`` / ``cache`` default to what ``config.jobs`` / ``config.cache``
+    imply; results are bit-identical for any executor, worker count or cache
+    state because every compiled task derives its own seed.  ``prepared``
+    (from :func:`prepare_scenario` with the same spec and config) skips the
+    load/compile step.
+    """
+    if spec.kind == "stats":
+        return ScenarioResult(spec=spec, table=_dataset_stats(spec, config))
+
+    graph, labels, tasks = prepared if prepared is not None else prepare_scenario(spec, config)
+    gains = run_tasks(
+        tasks,
+        graph,
+        labels=labels,
+        executor=executor if executor is not None else executor_for(config),
+        cache=cache if cache is not None else cache_for(config),
+    )
+
+    by_point: Dict[Tuple[str, str, float], List[float]] = {}
+    for task, gain in zip(tasks, gains):
+        by_point.setdefault((task.figure, task.series, task.value), []).append(gain)
+
+    result = ScenarioResult(spec=spec)
+    for panel in spec.panels:
+        sweep = SweepResult(
+            figure=panel.figure,
+            dataset=spec.dataset,
+            metric=spec.metric,
+            parameter=spec.parameter,
+            values=list(spec.values),
+        )
+        for value in spec.values:
+            for series in panel.series:
+                point = FLAT_VALUE if series.sweep == SWEEP_FLAT else float(value)
+                sweep.add_point(series.name, by_point[(panel.figure, series.name, point)])
+        result.panels[panel.key] = sweep
+    return result

@@ -10,6 +10,8 @@ from __future__ import annotations
 from numbers import Real
 from typing import Any, Tuple, Type, Union
 
+import numpy as np
+
 
 def check_type(value: Any, types: Union[Type, Tuple[Type, ...]], name: str) -> Any:
     """Raise :class:`TypeError` unless ``value`` is an instance of ``types``."""
@@ -55,6 +57,28 @@ def check_fraction(value: Real, name: str) -> Real:
     check_type(value, Real, name)
     if not 0.0 < value < 1.0:
         raise ValueError(f"{name} must lie strictly between 0 and 1, got {value}")
+    return value
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Raise unless ``value`` is a bona-fide positive integer.
+
+    Rejects floats (even integral ones like ``3.0``) and booleans: a config
+    knob like ``trials`` or ``jobs`` silently truncated from a float is
+    almost always a caller bug, and ``True`` counting as 1 trial is worse.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be a positive integer, got {value}")
+    return int(value)
+
+
+def check_scale(value: Any, name: str) -> Real:
+    """Raise unless ``value`` is a scale factor in (0, 1]."""
+    check_type(value, Real, name)
+    if isinstance(value, bool) or not 0.0 < value <= 1.0:
+        raise ValueError(f"{name} must lie in (0, 1], got {value!r}")
     return value
 
 

@@ -59,3 +59,99 @@ class TestRun:
         assert code == 0
         text = out.getvalue()
         assert "LF-GDPR" in text and "LDPGen" in text
+
+
+class TestScenarioCommands:
+    def test_list_shows_paper_and_extensions(self):
+        out = io.StringIO()
+        assert run(["scenario", "list"], out=out) == 0
+        text = out.getvalue()
+        assert "fig6" in text and "xprod/protocol-duel-mga" in text
+
+    def test_list_extensions_only(self):
+        out = io.StringIO()
+        assert run(["scenario", "list", "--extensions"], out=out) == 0
+        text = out.getvalue()
+        assert "xprod/" in text and "fig6" not in text
+
+    def test_list_unknown_tag_fails(self):
+        out = io.StringIO()
+        assert run(["scenario", "list", "--tag", "nonesuch"], out=out) == 1
+
+    def test_run_scenario_tiny(self):
+        out = io.StringIO()
+        code = run(
+            ["scenario", "run", "xprod/protocol-duel-mga",
+             "--scale", "0.02", "--trials", "1", "--no-cache"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "LF-GDPR/MGA" in text and "LDPGen/MGA" in text
+
+    def test_run_scenario_dataset_override(self):
+        out = io.StringIO()
+        code = run(
+            ["scenario", "run", "fig6", "--dataset", "enron",
+             "--scale", "0.01", "--trials", "1", "--no-cache"],
+            out=out,
+        )
+        assert code == 0
+        assert "enron" in out.getvalue()
+
+    def test_run_unknown_scenario(self):
+        with pytest.raises(KeyError, match="fig99"):
+            run(["scenario", "run", "fig99"], out=io.StringIO())
+
+    def test_record_then_check_roundtrip(self, tmp_path):
+        out = io.StringIO()
+        code = run(
+            ["scenario", "record", "fig12a", "--dir", str(tmp_path),
+             "--scale", "0.02", "--trials", "1"],
+            out=out,
+        )
+        assert code == 0
+        assert (tmp_path / "fig12a.json").is_file()
+        out = io.StringIO()
+        assert run(["scenario", "check", "fig12a", "--dir", str(tmp_path)], out=out) == 0
+        assert "ok" in out.getvalue()
+
+    def test_check_without_fixtures_fails(self, tmp_path):
+        out = io.StringIO()
+        assert run(["scenario", "check", "--dir", str(tmp_path)], out=out) == 1
+        assert "no golden fixtures" in out.getvalue()
+
+    def test_check_named_scenario_without_fixture_reports_missing(self, tmp_path):
+        out = io.StringIO()
+        assert run(["scenario", "check", "fig6", "--dir", str(tmp_path)], out=out) == 1
+        assert "MISSING fig6" in out.getvalue()
+
+    def test_run_table2_dataset_override(self):
+        out = io.StringIO()
+        code = run(
+            ["scenario", "run", "table2", "--dataset", "enron", "--scale", "0.02"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "enron" in text and "facebook" not in text
+
+    def test_check_reports_drift(self, tmp_path):
+        import json
+
+        run(
+            ["scenario", "record", "fig12a", "--dir", str(tmp_path),
+             "--scale", "0.02", "--trials", "1"],
+            out=io.StringIO(),
+        )
+        path = tmp_path / "fig12a.json"
+        fixture = json.loads(path.read_text())
+        fixture["panels"]["Fig12a"]["series"]["Detect1"]["mean"][0] += 0.5
+        path.write_text(json.dumps(fixture))
+        out = io.StringIO()
+        assert run(["scenario", "check", "fig12a", "--dir", str(tmp_path)], out=out) == 1
+        assert "DRIFT" in out.getvalue()
+
+    def test_scenario_requires_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario"])

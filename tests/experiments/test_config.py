@@ -51,3 +51,31 @@ class TestConfig:
             ExperimentConfig(epsilon=-1.0)
         with pytest.raises(ValueError):
             ExperimentConfig(trials=0)
+
+    @pytest.mark.parametrize("field", ["trials", "jobs"])
+    def test_rejects_non_integer_counts(self, field):
+        """trials/jobs must be bona-fide integers, not floats or bools."""
+        with pytest.raises(TypeError, match="integer"):
+            ExperimentConfig(**{field: 2.0})
+        with pytest.raises(TypeError, match="integer"):
+            ExperimentConfig(**{field: "3"})
+        with pytest.raises(TypeError, match="integer"):
+            ExperimentConfig(**{field: True})
+        with pytest.raises(ValueError, match="positive integer"):
+            ExperimentConfig(**{field: -1})
+
+    def test_numpy_integer_counts_accepted(self):
+        import numpy as np
+
+        config = ExperimentConfig(trials=np.int64(2), jobs=np.int32(4))
+        assert config.trials == 2 and config.jobs == 4
+
+    @pytest.mark.parametrize("scale", [0.0, -0.1, 1.5, 2])
+    def test_rejects_scale_outside_unit_interval(self, scale):
+        with pytest.raises(ValueError, match=r"scale must lie in \(0, 1\]"):
+            ExperimentConfig(scale=scale)
+
+    def test_scale_bounds(self):
+        assert ExperimentConfig(scale=1.0).scale == 1.0
+        assert ExperimentConfig(scale=0.001).scale == 0.001
+        assert ExperimentConfig(scale=None).scale is None

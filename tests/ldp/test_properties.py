@@ -1,0 +1,205 @@
+"""Property-based tests for the LDP primitives (Hypothesis).
+
+Three families of invariants, each over wide randomised parameter ranges:
+
+* **Simplex** — every oracle's per-report perturbation probabilities form a
+  probability distribution: ``p``/``q`` in [0, 1], ``p > q`` (signal
+  exists), and the full outcome distribution sums to 1.
+* **Unbiasedness** — the ``(count/n - q) / (p - q)`` calibration exactly
+  inverts the perturbation *in expectation*: feeding the analytic expected
+  support counts through the estimator returns the true frequencies.
+* **Epsilon monotonicity** — more budget means more signal: keep/support
+  probabilities increase and noise scales decrease as epsilon grows.
+"""
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.ldp.frequency_oracles import KRR, OLH, OUE  # noqa: E402
+from repro.ldp.mechanisms import (  # noqa: E402
+    calibrate_bit_counts,
+    degree_noise_scale,
+    perturb_bits,
+    rr_keep_probability,
+)
+
+ORACLES = (KRR, OUE, OLH)
+
+domains = st.integers(min_value=2, max_value=64)
+epsilons = st.floats(min_value=0.05, max_value=10.0, allow_nan=False)
+#: Distinct epsilon pairs for monotonicity checks, ordered eps_lo < eps_hi.
+epsilon_pairs = st.tuples(epsilons, epsilons).filter(lambda pair: abs(pair[0] - pair[1]) > 1e-6)
+
+COMMON = dict(max_examples=50, deadline=None)
+
+
+def _frequencies(draw, domain_size):
+    """A true frequency vector on the probability simplex."""
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=domain_size, max_size=domain_size,
+        ).filter(lambda w: sum(w) > 0)
+    )
+    weights = np.asarray(weights, dtype=np.float64)
+    return weights / weights.sum()
+
+
+class TestSimplex:
+    @pytest.mark.parametrize("oracle_cls", ORACLES)
+    @settings(**COMMON)
+    @given(domain_size=domains, epsilon=epsilons)
+    def test_support_probabilities_are_probabilities(self, oracle_cls, domain_size, epsilon):
+        oracle = oracle_cls(domain_size, epsilon)
+        p = oracle.support_probability_true
+        q = oracle.support_probability_false
+        assert 0.0 <= q < p <= 1.0
+
+    @settings(**COMMON)
+    @given(domain_size=domains, epsilon=epsilons)
+    def test_krr_outcome_distribution_sums_to_one(self, domain_size, epsilon):
+        """kRR reports one of d outcomes: p + (d-1) q must be exactly 1."""
+        oracle = KRR(domain_size, epsilon)
+        total = oracle.support_probability_true + (domain_size - 1) * oracle.support_probability_false
+        assert total == pytest.approx(1.0, abs=1e-12)
+
+    @settings(**COMMON)
+    @given(domain_size=domains, epsilon=epsilons)
+    def test_olh_bucket_distribution_sums_to_one(self, domain_size, epsilon):
+        """Within the hashed bucket domain, OLH's kRR outcomes sum to 1."""
+        oracle = OLH(domain_size, epsilon)
+        g = oracle.num_buckets
+        p = oracle.support_probability_true
+        q_bucket = (1.0 - p) / (g - 1)  # probability of each specific other bucket
+        assert p + (g - 1) * q_bucket == pytest.approx(1.0, abs=1e-12)
+        # The marginal false-support probability is the uniform bucket mass.
+        assert oracle.support_probability_false == pytest.approx(1.0 / g)
+
+    @settings(**COMMON)
+    @given(epsilon=st.floats(min_value=0.0, max_value=20.0, allow_nan=False))
+    def test_rr_keep_probability_in_half_open_unit(self, epsilon):
+        keep = rr_keep_probability(epsilon)
+        assert 0.5 <= keep < 1.0
+        # Keep + flip is a two-outcome distribution.
+        assert keep + (1.0 - keep) == pytest.approx(1.0)
+
+    @settings(**COMMON)
+    @given(
+        epsilon=st.floats(min_value=0.1, max_value=8.0, allow_nan=False),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        shape=st.integers(min_value=1, max_value=200),
+    )
+    def test_perturb_bits_outputs_stay_binary(self, epsilon, seed, shape):
+        bits = np.random.default_rng(seed).integers(0, 2, size=shape)
+        reported = perturb_bits(bits, epsilon, rng=seed)
+        assert reported.shape == bits.shape
+        assert np.isin(reported, (0, 1)).all()
+
+
+class TestUnbiasedness:
+    @pytest.mark.parametrize("oracle_cls", ORACLES)
+    @settings(**COMMON)
+    @given(data=st.data(), domain_size=domains, epsilon=epsilons,
+           num_users=st.integers(min_value=1, max_value=10_000))
+    def test_calibration_inverts_expected_support(self, oracle_cls, data, domain_size,
+                                                  epsilon, num_users):
+        """E[estimate] == true frequencies, by the calibration identity.
+
+        For every oracle, E[support count of item v] =
+        ``n * (f_v p + (1 - f_v) q)``; pushing that expectation through
+        ``(count/n - q) / (p - q)`` must return ``f_v`` exactly — i.e. the
+        estimator is unbiased whatever the true distribution.
+        """
+        oracle = oracle_cls(domain_size, epsilon)
+        frequencies = _frequencies(data.draw, domain_size)
+        p = oracle.support_probability_true
+        q = oracle.support_probability_false
+        expected_counts = num_users * (frequencies * p + (1.0 - frequencies) * q)
+        estimate = (expected_counts / num_users - q) / (p - q)
+        np.testing.assert_allclose(estimate, frequencies, rtol=1e-9, atol=1e-12)
+
+    @settings(**COMMON)
+    @given(
+        epsilon=st.floats(min_value=0.1, max_value=8.0, allow_nan=False),
+        true_ones=st.integers(min_value=0, max_value=500),
+        extra_zeros=st.integers(min_value=0, max_value=500),
+    )
+    def test_bit_count_calibration_inverts_expectation(self, epsilon, true_ones, extra_zeros):
+        """calibrate_bit_counts undoes randomized response in expectation."""
+        total = true_ones + extra_zeros
+        keep = rr_keep_probability(epsilon)
+        expected_ones = true_ones * keep + (total - true_ones) * (1.0 - keep)
+        estimate = calibrate_bit_counts(expected_ones, total, epsilon)
+        assert estimate == pytest.approx(true_ones, abs=1e-8)
+
+    @pytest.mark.parametrize("oracle_cls", ORACLES)
+    def test_empirical_unbiasedness_smoke(self, oracle_cls):
+        """Monte-Carlo sanity check at fixed seed: estimates approach truth."""
+        oracle = oracle_cls(8, 2.0)
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 8, size=60_000)
+        truth = np.bincount(values, minlength=8) / values.size
+        reports = oracle.perturb(values, rng=rng)
+        estimate = oracle.estimate_frequencies(reports)
+        np.testing.assert_allclose(estimate, truth, atol=0.02)
+
+
+class TestEpsilonMonotonicity:
+    @pytest.mark.parametrize("oracle_cls", (KRR, OUE))
+    @settings(**COMMON)
+    @given(domain_size=domains, pair=epsilon_pairs)
+    def test_signal_grows_with_budget(self, oracle_cls, domain_size, pair):
+        """p - q (the usable signal) strictly increases with epsilon."""
+        eps_lo, eps_hi = sorted(pair)
+        lo = oracle_cls(domain_size, eps_lo)
+        hi = oracle_cls(domain_size, eps_hi)
+        signal_lo = lo.support_probability_true - lo.support_probability_false
+        signal_hi = hi.support_probability_true - hi.support_probability_false
+        assert signal_hi > signal_lo
+
+    @settings(**COMMON)
+    @given(pair=epsilon_pairs)
+    def test_rr_keep_probability_monotone(self, pair):
+        eps_lo, eps_hi = sorted(pair)
+        assert rr_keep_probability(eps_hi) > rr_keep_probability(eps_lo)
+
+    @settings(**COMMON)
+    @given(pair=epsilon_pairs)
+    def test_laplace_scale_antitone(self, pair):
+        """More budget, less degree noise."""
+        eps_lo, eps_hi = sorted(pair)
+        assert degree_noise_scale(eps_hi) < degree_noise_scale(eps_lo)
+
+    @settings(**COMMON)
+    @given(
+        domain_size=domains,
+        buckets=st.integers(min_value=3, max_value=40),
+        fractions=st.tuples(
+            st.floats(min_value=0.01, max_value=0.99),
+            st.floats(min_value=0.01, max_value=0.99),
+        ).filter(lambda pair: abs(pair[0] - pair[1]) > 1e-3),
+    )
+    def test_olh_signal_monotone_at_fixed_bucket_count(self, domain_size, buckets, fractions):
+        """OLH's signal grows with budget while the bucket count holds.
+
+        ``num_buckets = round(e^eps) + 1`` is a step function of epsilon, and
+        the signal genuinely dips by a hair as the bucket count jumps (the
+        rounding walks off the variance optimum), so the clean monotonicity
+        property only holds within one bucket-count regime.  Both epsilons
+        are drawn from the interval where ``round(e^eps) == buckets - 1``:
+        ``eps in [ln(buckets - 1.5), ln(buckets - 0.5))``.
+        """
+        import math
+
+        low, high = math.log(buckets - 1.5), math.log(buckets - 0.5)
+        eps_lo, eps_hi = sorted(low + f * (high - low) * 0.999 for f in fractions)
+        lo = OLH(domain_size, eps_lo)
+        hi = OLH(domain_size, eps_hi)
+        assert lo.num_buckets == hi.num_buckets == buckets
+        signal_lo = lo.support_probability_true - lo.support_probability_false
+        signal_hi = hi.support_probability_true - hi.support_probability_false
+        assert signal_hi > signal_lo

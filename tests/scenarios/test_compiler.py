@@ -1,0 +1,174 @@
+"""Compiler tests: seed-key compatibility and batch structure.
+
+The scenario compiler must emit the *historical* seed-derivation keys of the
+pre-scenario figure drivers — that equivalence is what keeps every recorded
+figure output bit-identical.  These tests pin both key shapes against
+independent constructions: the sweep style against the engine-level
+:func:`~repro.experiments.runner.build_sweep_tasks`, the defense style
+against literally-spelled key strings.
+"""
+
+import pytest
+
+from repro.engine.tasks import TrialTask, derive_trial_seed, graph_fingerprint
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import build_sweep_tasks
+from repro.graph.generators import powerlaw_cluster_graph
+from repro.scenarios.compiler import compile_scenario
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.spec import (
+    SWEEP_DEFENSE_ARG,
+    SWEEP_FLAT,
+    PanelSpec,
+    ScenarioSpec,
+    SeriesSpec,
+)
+
+CONFIG = ExperimentConfig(trials=2, seed=7, cache=False)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_cluster_graph(120, 4, 0.5, rng=0)
+
+
+class TestSweepStyle:
+    def test_matches_legacy_sweep_builder(self, graph):
+        """fig6-shaped scenarios compile to build_sweep_tasks' exact batch."""
+        spec = get_scenario("fig6")
+        compiled = compile_scenario(spec, graph, CONFIG)
+        legacy = build_sweep_tasks(
+            graph, spec.dataset, spec.metric, "epsilon", spec.values, CONFIG,
+            {"RVA": "degree/rva", "RNA": "degree/rna", "MGA": "degree/mga"},
+            "lfgdpr", "", figure="Fig6",
+        )
+        assert set(compiled) == set(legacy)
+        assert len(compiled) == len(legacy) == 8 * 3 * CONFIG.trials
+
+    def test_multi_panel_matches_two_legacy_batches(self, graph):
+        """fig14 compiles to the union of the two historical panel batches."""
+        spec = get_scenario("fig14")
+        compiled = compile_scenario(spec, graph, CONFIG)
+        legacy = []
+        for panel, protocol in (("LF-GDPR", "lfgdpr"), ("LDPGen", "ldpgen")):
+            legacy += build_sweep_tasks(
+                graph, spec.dataset, spec.metric, "epsilon", spec.values, CONFIG,
+                {"RVA": "clustering/rva", "RNA": "clustering/rna", "MGA": "clustering/mga"},
+                protocol, "", figure=f"Fig14-{panel}",
+            )
+        assert set(compiled) == set(legacy)
+
+    def test_per_series_protocols_in_one_panel(self, graph):
+        """Cross-product series may mix protocols inside one panel."""
+        spec = get_scenario("xprod/protocol-duel-mga")
+        compiled = compile_scenario(spec, graph, CONFIG)
+        protocols = {task.series: task.protocol for task in compiled}
+        assert protocols == {"LF-GDPR/MGA": "lfgdpr", "LDPGen/MGA": "ldpgen"}
+
+
+class TestDefenseStyle:
+    def test_threshold_sweep_matches_historical_keys(self, graph):
+        """Fig. 12(a): flat references measured once, Detect1 per threshold."""
+        spec = get_scenario("fig12a")
+        compiled = compile_scenario(spec, graph, CONFIG)
+        graph_key = graph_fingerprint(graph)
+
+        def expected(series, defense, defense_args, seed_key, value):
+            return [
+                TrialTask(
+                    graph_key=graph_key, metric="degree_centrality",
+                    attack="degree/mga", protocol="lfgdpr",
+                    epsilon=CONFIG.epsilon, beta=CONFIG.beta, gamma=CONFIG.gamma,
+                    seed=derive_trial_seed(CONFIG.seed, f"Fig12a|{seed_key}|trial={trial}"),
+                    defense=defense, defense_args=defense_args,
+                    figure="Fig12a", series=series, parameter="threshold",
+                    value=value, trial=trial,
+                )
+                for trial in range(CONFIG.trials)
+            ]
+
+        legacy = expected("NoDefense", "", (), "NoDefense", 0.0)
+        legacy += expected("Naive1", "naive1", (), "Naive1", 0.0)
+        for threshold in spec.values:
+            legacy += expected(
+                "Detect1", "detect1", (("threshold", int(threshold)),),
+                f"Detect1|threshold={threshold}", float(threshold),
+            )
+        assert set(compiled) == set(legacy)
+        # Flat series are measured once, not once per grid point.
+        assert len(compiled) == (2 + len(spec.values)) * CONFIG.trials
+
+    def test_beta_sweep_matches_historical_keys(self, graph):
+        """Fig. 12(b): every series re-measured at every beta."""
+        spec = get_scenario("fig12b")
+        compiled = compile_scenario(spec, graph, CONFIG)
+        graph_key = graph_fingerprint(graph)
+        legacy = []
+        for series, defense in (("NoDefense", ""), ("Detect2", "detect2"), ("Naive2", "naive2")):
+            for beta in spec.values:
+                legacy += [
+                    TrialTask(
+                        graph_key=graph_key, metric="degree_centrality",
+                        attack="degree/rva", protocol="lfgdpr",
+                        epsilon=CONFIG.epsilon, beta=beta, gamma=CONFIG.gamma,
+                        seed=derive_trial_seed(
+                            CONFIG.seed, f"Fig12b|{series}|beta={beta}|trial={trial}"
+                        ),
+                        defense=defense, defense_args=(),
+                        figure="Fig12b", series=series, parameter="beta",
+                        value=float(beta), trial=trial,
+                    )
+                    for trial in range(CONFIG.trials)
+                ]
+        assert set(compiled) == set(legacy)
+
+    def test_integer_thresholds_stay_integral(self, graph):
+        spec = get_scenario("fig12a")
+        for task in compile_scenario(spec, graph, CONFIG):
+            for name, value in task.defense_args:
+                assert name == "threshold"
+                assert isinstance(value, int)
+
+
+class TestCompileErrors:
+    def test_stats_scenarios_do_not_compile(self, graph):
+        with pytest.raises(ValueError, match="compiles to no tasks"):
+            compile_scenario(get_scenario("table2"), graph, CONFIG)
+
+    def test_modularity_needs_labels(self, graph):
+        with pytest.raises(ValueError, match="community labels"):
+            compile_scenario(get_scenario("fig15"), graph, CONFIG)
+
+
+class TestBatchShape:
+    def test_every_task_carries_display_coordinates(self, graph):
+        spec = ScenarioSpec(
+            name="shape", description="d", values=(2.0, 4.0),
+            panels=(
+                PanelSpec(
+                    figure="Shape",
+                    series=(
+                        SeriesSpec(name="MGA", attack="degree/mga"),
+                        SeriesSpec(name="Flat", attack="degree/rva", sweep=SWEEP_FLAT),
+                        SeriesSpec(
+                            name="D1", attack="degree/mga", defense="detect1",
+                            sweep=SWEEP_DEFENSE_ARG, sweep_arg="threshold",
+                        ),
+                    ),
+                ),
+            ),
+            seed_style="defense", parameter="epsilon",
+        )
+        tasks = compile_scenario(spec, graph, CONFIG)
+        # MGA sweeps the point: epsilon follows the grid.
+        assert {t.epsilon for t in tasks if t.series == "MGA"} == {2.0, 4.0}
+        # Flat stays at the config default and appears once.
+        flat = [t for t in tasks if t.series == "Flat"]
+        assert len(flat) == CONFIG.trials
+        assert {t.epsilon for t in flat} == {CONFIG.epsilon}
+        # Defense-arg sweep: epsilon stays default, threshold follows the grid.
+        d1 = [t for t in tasks if t.series == "D1"]
+        assert {t.epsilon for t in d1} == {CONFIG.epsilon}
+        assert {dict(t.defense_args)["threshold"] for t in d1} == {2.0, 4.0}
+        # Seeds are unique across the whole batch.
+        assert len({t.seed for t in tasks}) == len(tasks)

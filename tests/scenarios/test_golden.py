@@ -1,0 +1,108 @@
+"""The golden-result regression harness.
+
+Replays every scenario that has a recorded fixture under ``tests/golden``
+at the fixture's own tiny configuration and asserts the aggregate outputs
+(means, standard errors, task-batch hash) still match within tolerance.
+This is the end-to-end guard for the whole attack/defense/protocol stack:
+any change that silently alters numeric results fails here.
+
+Re-record deliberately changed outputs with ``python -m repro scenario
+record`` (see README "Scenarios" for the tolerance policy).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios import golden as golden_store
+from repro.scenarios.registry import SCENARIOS
+
+GOLDEN_DIR = Path(__file__).resolve().parents[1] / "golden"
+
+RECORDED = sorted(
+    name for name in SCENARIOS if golden_store.golden_path(name, GOLDEN_DIR).is_file()
+)
+
+
+def test_fixtures_exist_for_every_paper_artifact():
+    """fig6-fig15 and table2 must all carry golden fixtures."""
+    expected = {
+        "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+        "fig12a", "fig12b", "fig13a", "fig13b", "fig14", "fig15",
+    }
+    missing = expected - set(RECORDED)
+    assert not missing, f"paper artifacts without golden fixtures: {sorted(missing)}"
+
+
+def test_every_registered_scenario_is_recorded():
+    """New catalog entries must ship with a fixture (scenario record)."""
+    missing = sorted(set(SCENARIOS) - set(RECORDED))
+    assert not missing, (
+        f"scenarios without golden fixtures: {missing}; "
+        "run 'python -m repro scenario record' and commit tests/golden"
+    )
+
+
+@pytest.mark.parametrize("name", RECORDED)
+def test_replay_matches_golden(name):
+    problems = golden_store.check_golden(SCENARIOS.create(name), GOLDEN_DIR)
+    assert not problems, "golden drift:\n" + "\n".join(problems)
+
+
+class TestHarnessSensitivity:
+    """The comparator itself must catch drift (a harness that can't fail
+    protects nothing)."""
+
+    def _golden_and_result(self, name="fig6"):
+        spec = SCENARIOS.create(name)
+        golden = golden_store.load_golden(name, GOLDEN_DIR)
+        config = golden_store.golden_config(golden)
+        from repro.engine.cache import NullCache
+        from repro.scenarios.run import run_scenario
+
+        return spec, golden, run_scenario(spec, config, cache=NullCache())
+
+    def test_detects_mean_drift(self):
+        spec, golden, result = self._golden_and_result()
+        panel = next(iter(golden["panels"].values()))
+        panel["series"]["MGA"]["mean"][0] += 1e-3
+        problems = golden_store.compare_golden(golden, result, spec)
+        assert any("MGA" in p and "mean[0]" in p for p in problems)
+
+    def test_detects_missing_series(self):
+        spec, golden, result = self._golden_and_result()
+        panel = next(iter(golden["panels"].values()))
+        panel["series"]["Ghost"] = {"mean": [], "stderr": []}
+        problems = golden_store.compare_golden(golden, result, spec)
+        assert any("series set changed" in p for p in problems)
+
+    def test_detects_grid_change(self):
+        spec, golden, result = self._golden_and_result()
+        panel = next(iter(golden["panels"].values()))
+        panel["values"][0] = 99.0
+        problems = golden_store.compare_golden(golden, result, spec)
+        assert any("value grid changed" in p for p in problems)
+
+    def test_detects_table_change(self):
+        spec, golden, result = self._golden_and_result("table2")
+        golden["table"][0][3] += 1
+        problems = golden_store.compare_golden(golden, result, spec)
+        assert any("table rows changed" in p for p in problems)
+
+    def test_batch_hash_pins_seed_derivation(self):
+        """The recorded hash covers task identities, so a seed change trips it."""
+        name = "fig6"
+        spec = SCENARIOS.create(name)
+        golden = golden_store.load_golden(name, GOLDEN_DIR)
+        config = golden_store.golden_config(golden)
+        assert golden["batch_hash"] == golden_store.batch_hash(spec, config)
+        shifted = golden_store.batch_hash(spec, config.with_overrides(seed=1))
+        assert shifted != golden["batch_hash"]
+
+
+def test_record_roundtrip(tmp_path):
+    """record_golden writes a fixture check_golden immediately accepts."""
+    spec = SCENARIOS.create("fig12a")
+    path = golden_store.record_golden(spec, golden_store.GOLDEN_CONFIG, tmp_path)
+    assert path.is_file()
+    assert golden_store.check_golden(spec, tmp_path) == []

@@ -1,0 +1,92 @@
+"""Catalog/registry tests: coverage and lookup semantics.
+
+The coverage tests are deliberate gatekeepers: every attack, protocol and
+defense registered in the engine must be reachable from at least one
+registered scenario, so the golden harness exercises the *whole* component
+surface — a newly registered component without a scenario fails here.
+"""
+
+import pytest
+
+from repro.engine.registry import ATTACKS, DEFENSES, PROTOCOLS
+from repro.scenarios.registry import SCENARIOS, get_scenario, register_scenario, scenario_names
+from repro.scenarios.spec import PanelSpec, ScenarioSpec, SeriesSpec
+
+
+def _all_series():
+    for name in SCENARIOS:
+        spec = SCENARIOS.create(name)
+        for series in spec.all_series():
+            yield spec, series
+
+
+class TestComponentCoverage:
+    def test_every_attack_has_a_scenario(self):
+        used = {series.attack for _, series in _all_series()}
+        missing = sorted(set(ATTACKS.names()) - used)
+        assert not missing, f"attacks not covered by any scenario: {missing}"
+
+    def test_every_defense_has_a_scenario(self):
+        used = {series.defense for _, series in _all_series() if series.defense}
+        missing = sorted(set(DEFENSES.names()) - used)
+        assert not missing, f"defenses not covered by any scenario: {missing}"
+
+    def test_every_protocol_has_a_scenario(self):
+        used = {series.protocol for _, series in _all_series()}
+        missing = sorted(set(PROTOCOLS.names()) - used)
+        assert not missing, f"protocols not covered by any scenario: {missing}"
+
+    def test_all_paper_artifacts_registered(self):
+        names = set(SCENARIOS)
+        for figure in ("fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+                       "fig12a", "fig12b", "fig13a", "fig13b", "fig14", "fig15",
+                       "table2"):
+            assert figure in names
+
+    def test_at_least_three_extensions(self):
+        extensions = scenario_names(paper=False)
+        assert len(extensions) >= 3, extensions
+
+
+class TestLookup:
+    def test_get_scenario_retargets_dataset(self):
+        spec = get_scenario("fig6", dataset="enron")
+        assert spec.dataset == "enron"
+        assert get_scenario("fig6").dataset == "facebook"
+
+    def test_unknown_scenario_lists_known(self):
+        with pytest.raises(KeyError, match="known:"):
+            get_scenario("fig99")
+
+    def test_tag_filter(self):
+        degree = scenario_names(tag="degree")
+        assert "fig6" in degree and "fig9" not in degree
+
+    def test_origin_tags_derived_from_paper_flag(self):
+        """paper/extension are never hand-written tags; they derive from
+        spec.paper, so --tag and --extensions can't drift apart."""
+        assert set(scenario_names(tag="paper")) == set(scenario_names(paper=True))
+        assert set(scenario_names(tag="extension")) == set(scenario_names(paper=False))
+        for name in scenario_names():
+            assert "paper" not in SCENARIOS.create(name).tags
+            assert "extension" not in SCENARIOS.create(name).tags
+
+    def test_reregistration_rejected(self):
+        spec = SCENARIOS.create("fig6")
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario(spec)
+
+    def test_registration_validates_components(self):
+        bogus = ScenarioSpec(
+            name="bogus/typo",
+            description="d",
+            values=(1.0,),
+            panels=(
+                PanelSpec(
+                    figure="B", series=(SeriesSpec(name="X", attack="degree/typo"),)
+                ),
+            ),
+        )
+        with pytest.raises(KeyError, match="degree/typo"):
+            register_scenario(bogus)
+        assert "bogus/typo" not in SCENARIOS

@@ -1,0 +1,68 @@
+"""run_scenario aggregation tests (tiny scales)."""
+
+import pytest
+
+from repro.engine.cache import NullCache
+from repro.experiments.config import ExperimentConfig
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.run import run_scenario
+
+TINY = ExperimentConfig(trials=1, scale=0.02, seed=0, cache=False)
+
+
+def _run(name, config=TINY):
+    return run_scenario(get_scenario(name), config, cache=NullCache())
+
+
+class TestSweepAggregation:
+    def test_single_panel_unwraps(self):
+        result = _run("fig6")
+        sweep = result.sweep()
+        assert set(sweep.series) == {"RVA", "RNA", "MGA"}
+        assert len(sweep.series["MGA"]) == len(sweep.values) == 8
+
+    def test_flat_series_replicated_across_grid(self):
+        result = _run("fig12a")
+        sweep = result.sweep()
+        flat = sweep.series["NoDefense"]
+        assert len(flat) == len(sweep.values)
+        assert len(set(flat)) == 1, "flat reference must repeat one measurement"
+        assert len(set(sweep.series["Detect1"])) > 1 or len(sweep.values) == 1
+
+    def test_multi_panel_keys_and_unwrap_refusal(self):
+        result = _run("fig14")
+        assert sorted(result.panels) == ["LDPGen", "LF-GDPR"]
+        with pytest.raises(ValueError, match="pick one explicitly"):
+            result.sweep()
+
+    def test_format_contains_every_panel(self):
+        text = _run("fig14").format()
+        assert "Fig14-LF-GDPR" in text and "Fig14-LDPGen" in text
+
+    def test_series_order_matches_spec(self):
+        spec = get_scenario("fig12a")
+        sweep = _run("fig12a").sweep()
+        assert list(sweep.series) == [s.name for s in spec.panels[0].series]
+
+
+class TestStats:
+    def test_table2_rows(self):
+        result = _run("table2")
+        assert result.table is not None
+        assert [row[0] for row in result.table] == ["facebook", "enron", "astroph", "gplus"]
+        assert "facebook" in result.format()
+
+    def test_dataset_override_narrows_stats(self):
+        spec = get_scenario("table2", dataset="enron")
+        result = run_scenario(spec, TINY)
+        assert [row[0] for row in result.table] == ["enron"]
+
+
+class TestOverrides:
+    def test_dataset_override_changes_graph(self):
+        facebook = _run("fig6").sweep()
+        enron = run_scenario(
+            get_scenario("fig6", dataset="enron"), TINY, cache=NullCache()
+        ).sweep()
+        assert facebook.dataset == "facebook" and enron.dataset == "enron"
+        assert facebook.series != enron.series

@@ -1,0 +1,145 @@
+"""Tests for the frozen scenario data model."""
+
+import pytest
+
+from repro.scenarios.spec import (
+    SWEEP_DEFENSE_ARG,
+    SWEEP_FLAT,
+    PanelSpec,
+    ScenarioSpec,
+    SeriesSpec,
+)
+
+
+def _panel(*series):
+    return PanelSpec(figure="T", series=series)
+
+
+def _series(name="MGA", **kwargs):
+    return SeriesSpec(name=name, attack="degree/mga", **kwargs)
+
+
+class TestSeriesSpec:
+    def test_defaults(self):
+        series = _series()
+        assert series.protocol == "lfgdpr"
+        assert series.defense == ""
+        assert series.sweep == "point"
+
+    def test_rejects_unknown_sweep_role(self):
+        with pytest.raises(ValueError, match="sweep must be"):
+            _series(sweep="wiggle")
+
+    def test_defense_arg_sweep_needs_arg_name(self):
+        with pytest.raises(ValueError, match="sweep_arg"):
+            _series(defense="detect1", sweep=SWEEP_DEFENSE_ARG)
+
+    def test_defense_arg_sweep_needs_defense(self):
+        with pytest.raises(ValueError, match="without a defense"):
+            _series(sweep=SWEEP_DEFENSE_ARG, sweep_arg="threshold")
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            _series().attack = "degree/rva"
+
+
+class TestPanelSpec:
+    def test_duplicate_series_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate series"):
+            _panel(_series("MGA"), _series("MGA"))
+
+    def test_empty_panel_rejected(self):
+        with pytest.raises(ValueError, match="no series"):
+            PanelSpec(figure="T", series=())
+
+    def test_key_defaults_to_figure(self):
+        assert _panel(_series()).key == "T"
+        assert PanelSpec(figure="T", name="left", series=(_series(),)).key == "left"
+
+
+class TestScenarioSpec:
+    def _spec(self, **kwargs):
+        defaults = dict(
+            name="t",
+            description="test scenario",
+            values=(1.0, 2.0),
+            panels=(_panel(_series()),),
+        )
+        defaults.update(kwargs)
+        return ScenarioSpec(**defaults)
+
+    def test_valid_spec_builds(self):
+        spec = self._spec()
+        assert spec.parameter == "epsilon"
+        assert len(spec.all_series()) == 1
+
+    def test_rejects_unknown_metric(self):
+        with pytest.raises(ValueError, match="metric"):
+            self._spec(metric="pagerank")
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError, match="empty value grid"):
+            self._spec(values=())
+
+    def test_rejects_missing_panels(self):
+        with pytest.raises(ValueError, match="no panels"):
+            self._spec(panels=())
+
+    def test_rejects_duplicate_panel_figures(self):
+        with pytest.raises(ValueError, match="panel figure label"):
+            self._spec(panels=(_panel(_series()), _panel(_series())))
+
+    def test_sweep_style_requires_point_parameter(self):
+        with pytest.raises(ValueError, match="point parameter"):
+            self._spec(parameter="threshold")
+
+    def test_defense_style_allows_defense_arg_parameter(self):
+        spec = self._spec(
+            parameter="threshold",
+            seed_style="defense",
+            panels=(
+                _panel(
+                    _series(
+                        "Detect1", defense="detect1",
+                        sweep=SWEEP_DEFENSE_ARG, sweep_arg="threshold",
+                    )
+                ),
+            ),
+        )
+        assert spec.seed_style == "defense"
+
+    def test_rejects_unknown_seed_style(self):
+        with pytest.raises(ValueError, match="seed_style"):
+            self._spec(seed_style="legacy")
+
+    def test_stats_kind_skips_sweep_checks(self):
+        spec = ScenarioSpec(
+            name="stats", description="d", kind="stats", datasets=("facebook",)
+        )
+        assert spec.kind == "stats"
+
+    def test_stats_kind_rejects_panels(self):
+        with pytest.raises(ValueError, match="stats scenarios"):
+            ScenarioSpec(
+                name="stats", description="d", kind="stats",
+                panels=(_panel(_series()),),
+            )
+
+    def test_on_dataset(self):
+        spec = self._spec().on_dataset("enron")
+        assert spec.dataset == "enron"
+        with pytest.raises(KeyError, match="unknown dataset"):
+            spec.on_dataset("twitter")
+
+    def test_validate_registries_catches_typo(self):
+        spec = self._spec(panels=(_panel(SeriesSpec(name="X", attack="degree/mgaa")),))
+        with pytest.raises(KeyError, match="degree/mgaa"):
+            spec.validate_registries()
+
+    def test_flat_series_allowed_with_any_parameter(self):
+        spec = self._spec(
+            parameter="threshold",
+            seed_style="defense",
+            panels=(_panel(_series("NoDefense", sweep=SWEEP_FLAT)),),
+        )
+        assert spec.panels[0].series[0].sweep == SWEEP_FLAT

@@ -45,6 +45,13 @@ TOP_LEVEL_API = [
     "FakeReport",
     "LDPGenProtocol",
     "LFGDPRProtocol",
+    "SCENARIOS",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "SeriesSpec",
+    "get_scenario",
+    "register_scenario",
+    "run_scenario",
 ]
 
 SUBPACKAGES = [
@@ -55,6 +62,7 @@ SUBPACKAGES = [
     "repro.defenses",
     "repro.engine",
     "repro.experiments",
+    "repro.scenarios",
     "repro.utils",
 ]
 
