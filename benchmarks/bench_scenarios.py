@@ -35,6 +35,56 @@ def test_scenario_sweep(benchmark, name):
         assert all(np.isfinite(g) for g in curve), series
 
 
+def test_paired_vs_full_ab():
+    """Paired-collection A/B on the fig09 workload: reuse on vs off.
+
+    Runs the fig9 scenario twice at equal settings — once through the
+    shared-collection + incremental-estimator pipeline (the default), once
+    with ``REPRO_PAIRED_COLLECTION=0`` forcing the legacy two-collection
+    path — and asserts the curves are bit-identical and the incremental
+    triangle path was actually selected (never silently falling back) on
+    every after-run.  Both runs are timed identically and the speedup is
+    reported; wall clock is only *asserted* with a generous margin, because
+    small CI workloads on shared runners are noisy.  Forces ``jobs=1``: the
+    delta-stats counters are process-local and would stay zero if trials
+    ran in pool workers.
+    """
+    import os
+    import time
+
+    from repro.graph.metrics import delta_stats, reset_delta_stats
+
+    spec = get_scenario("fig9")
+    config = bench_config(spec.dataset, jobs=1)
+
+    reset_delta_stats()
+    start = time.perf_counter()
+    paired = run_scenario(spec, config)
+    paired_seconds = time.perf_counter() - start
+    stats = delta_stats()
+
+    os.environ["REPRO_PAIRED_COLLECTION"] = "0"
+    try:
+        start = time.perf_counter()
+        full = run_scenario(spec, config)
+        full_seconds = time.perf_counter() - start
+    finally:
+        del os.environ["REPRO_PAIRED_COLLECTION"]
+
+    emit(
+        "paired_vs_full_ab",
+        f"fig09 workload ({spec.dataset}): paired {paired_seconds:.2f}s, "
+        f"full {full_seconds:.2f}s, speedup {full_seconds / paired_seconds:.2f}x\n"
+        f"delta stats: {stats}",
+    )
+    assert paired.sweep().series == full.sweep().series, "paired run changed results"
+    assert stats["incremental"] > 0, "incremental estimator was never selected"
+    assert stats["fallback"] == 0, "incremental estimator silently fell back"
+    assert paired_seconds < full_seconds * 1.5, (
+        f"paired path much slower than full: {paired_seconds:.2f}s vs {full_seconds:.2f}s"
+    )
+
+
 def test_scenario_compile_overhead(benchmark):
     """Compiling a spec to its task batch is negligible next to running it."""
     from repro.scenarios.compiler import compile_scenario

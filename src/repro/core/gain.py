@@ -10,10 +10,19 @@ the protocol derives genuine-user noise from named child streams of one
 seed, so the measured gain isolates the attack's effect instead of LDP noise
 variance.  ``paired=False`` re-randomises the after run for sensitivity
 analysis (benchmarked in ``bench_theory_validation``).
+
+Paired runs flow through :meth:`GraphLDPProtocol.collect_paired`: the honest
+world is collected once and the after-world derived from the shared state —
+bit-identical to two seed-replayed ``collect`` calls, but the honest
+randomness is drawn once and the estimators can update honest estimates
+incrementally over the attacker-touched rows.  ``REPRO_PAIRED_COLLECTION=0``
+forces the legacy two-collection path (identical outputs; the knob exists for
+A/B benchmarking and bisection).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -27,6 +36,15 @@ from repro.utils.rng import RngLike, child_rng, ensure_rng
 
 #: Metrics an attack can be evaluated on.
 METRICS = ("degree_centrality", "clustering_coefficient", "modularity")
+
+#: Environment variable: set to ``"0"`` to disable shared-collection reuse
+#: and run paired evaluations through two independent seed-replayed collects.
+PAIRED_COLLECTION_ENV = "REPRO_PAIRED_COLLECTION"
+
+
+def paired_collection_enabled() -> bool:
+    """Whether paired evaluations share one honest collection (default on)."""
+    return os.environ.get(PAIRED_COLLECTION_ENV, "1") != "0"
 
 
 @dataclass
@@ -96,14 +114,22 @@ def evaluate_attack(
     if missing.size:
         raise ValueError(f"attack left fake users without reports: {missing.tolist()}")
 
-    protocol_seed = child_rng(rng, "protocol-run").integers(2**63 - 1)
-    before_reports = protocol.collect(graph, int(protocol_seed))
-    after_seed = (
-        int(protocol_seed)
-        if paired
-        else int(child_rng(rng, "protocol-run-after").integers(2**63 - 1))
-    )
-    after_reports = protocol.collect(graph, after_seed, overrides=overrides)
+    protocol_seed = int(child_rng(rng, "protocol-run").integers(2**63 - 1))
+    if paired and paired_collection_enabled():
+        # One honest collection, shared: the after-view applies the overrides
+        # to the same perturbed state the before-view exposes (bit-identical
+        # to replaying the seed, without re-drawing the honest randomness).
+        run = protocol.collect_paired(graph, protocol_seed)
+        before_reports = run.before
+        after_reports = run.after(overrides)
+    else:
+        before_reports = protocol.collect(graph, protocol_seed)
+        after_seed = (
+            protocol_seed
+            if paired
+            else int(child_rng(rng, "protocol-run-after").integers(2**63 - 1))
+        )
+        after_reports = protocol.collect(graph, after_seed, overrides=overrides)
 
     if metric == "degree_centrality":
         before = protocol.estimate_degree_centrality(before_reports)[threat.targets]
@@ -115,13 +141,16 @@ def evaluate_attack(
         before = np.array([protocol.estimate_modularity(before_reports, labels)])
         after = np.array([protocol.estimate_modularity(after_reports, labels)])
 
+    # The estimators return float64 arrays already; fancy-indexing them by
+    # the target ids yields fresh float64 arrays, so no defensive re-copy is
+    # needed — and a mapping that is already a plain dict is adopted as-is.
     return AttackOutcome(
         attack_name=attack.name,
         metric=metric,
         targets=threat.targets,
-        before=np.asarray(before, dtype=np.float64),
-        after=np.asarray(after, dtype=np.float64),
-        overrides=dict(overrides),
+        before=before,
+        after=after,
+        overrides=overrides if type(overrides) is dict else dict(overrides),
     )
 
 

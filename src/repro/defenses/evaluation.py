@@ -19,7 +19,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.core.base import Attack
-from repro.core.gain import METRICS
+from repro.core.gain import METRICS, paired_collection_enabled
 from repro.core.threat_model import AttackerKnowledge, ThreatModel
 from repro.defenses.base import Defense, DetectionQuality, detection_quality
 from repro.graph.adjacency import Graph
@@ -78,8 +78,17 @@ def evaluate_defended_attack(
         graph, threat, knowledge, rng=child_rng(rng, "attack-craft")
     )
     protocol_seed = int(child_rng(rng, "protocol-run").integers(2**63 - 1))
-    before_reports = protocol.collect(graph, protocol_seed)
-    after_reports = protocol.collect(graph, protocol_seed, overrides=overrides)
+    if paired_collection_enabled():
+        # The honest collection is shared with the attacked after-run the
+        # defense post-processes — one perturbation per evaluation, exactly
+        # as in the undefended pipeline.  Repairs rebuild reports without
+        # the paired baseline, so defended estimation recomputes fully.
+        run = protocol.collect_paired(graph, protocol_seed)
+        before_reports = run.before
+        after_reports = run.after(overrides)
+    else:
+        before_reports = protocol.collect(graph, protocol_seed)
+        after_reports = protocol.collect(graph, protocol_seed, overrides=overrides)
     defended_reports, flagged = defense.apply(after_reports)
 
     if metric == "degree_centrality":

@@ -12,10 +12,16 @@ from repro.graph.io import read_edge_list, write_edge_list
 from repro.graph.metrics import (
     average_degree,
     degree_centrality,
+    delta_stats,
+    delta_threshold,
     edge_density,
     local_clustering_coefficients,
     modularity,
+    reset_delta_stats,
+    should_use_incremental,
     triangles_per_node,
+    triangles_per_node_incremental,
+    triangles_touching,
 )
 
 __all__ = [
@@ -33,8 +39,14 @@ __all__ = [
     "write_edge_list",
     "average_degree",
     "degree_centrality",
+    "delta_stats",
+    "delta_threshold",
     "edge_density",
     "local_clustering_coefficients",
     "modularity",
+    "reset_delta_stats",
+    "should_use_incremental",
     "triangles_per_node",
+    "triangles_per_node_incremental",
+    "triangles_touching",
 ]

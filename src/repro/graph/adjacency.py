@@ -160,6 +160,21 @@ class Graph:
         self._check_node(node)
         return int(self.degrees()[node])
 
+    def _seed_degrees(self, degrees: np.ndarray) -> None:
+        """Install a precomputed degree array, skipping the O(E) recount.
+
+        Trusted-caller API for incremental pipelines that already know this
+        graph's exact degrees (e.g. honest degrees plus the net changes of
+        an attack override).  The caller vouches the values equal what
+        :meth:`degrees` would compute — they are adopted verbatim.
+        """
+        degrees = np.asarray(degrees, dtype=np.int64)
+        if degrees.shape != (self._num_nodes,):
+            raise ValueError(
+                f"seeded degrees have shape {degrees.shape}, expected ({self._num_nodes},)"
+            )
+        self._degrees = degrees
+
     def neighbors(self, node: int) -> np.ndarray:
         """Sorted neighbour ids of ``node``."""
         self._check_node(node)

@@ -5,8 +5,13 @@ from repro.protocols.base import (
     FakeReport,
     GraphLDPProtocol,
     Overrides,
+    PairedBaseline,
+    PairedCollection,
+    SharedGraphPairedCollection,
+    TwoRunPairedCollection,
     apply_degree_overrides,
     apply_overrides,
+    apply_overrides_tracked,
 )
 from repro.protocols.estimators import (
     degrees_from_perturbed_graph,
@@ -31,8 +36,13 @@ __all__ = [
     "FakeReport",
     "GraphLDPProtocol",
     "Overrides",
+    "PairedBaseline",
+    "PairedCollection",
+    "SharedGraphPairedCollection",
+    "TwoRunPairedCollection",
     "apply_degree_overrides",
     "apply_overrides",
+    "apply_overrides_tracked",
     "degrees_from_perturbed_graph",
     "estimate_clustering_coefficients",
     "estimate_modularity",

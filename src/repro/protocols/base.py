@@ -11,18 +11,35 @@ Common-random-numbers evaluation: ``collect`` derives all genuine-user noise
 from named child streams of the supplied seed, so calling it twice with the
 same seed — once without overrides, once with them — changes *only* what the
 attacker changed.  That pairing is what ``repro.core.gain`` relies on.
+
+Shared-collection contract (``collect_paired``): because the honest-world
+randomness is a pure function of the seed, a paired run never needs to *draw*
+it twice.  :meth:`GraphLDPProtocol.collect_paired` materialises the honest
+state once and manufactures after-views by applying overrides to that shared
+state; the result is bit-identical to two ``collect`` calls with the same
+seed by construction.  After-views of pair-level protocols additionally carry
+a :class:`PairedBaseline` naming the honest reports, the touched rows and the
+net edge changes, which lets estimators update the honest estimates
+incrementally instead of recomputing from scratch (see
+``repro.graph.metrics.triangles_per_node_incremental``).
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Optional
 
 import numpy as np
 
 from repro.graph.adjacency import Graph
 from repro.utils.rng import RngLike
+from repro.utils.sparse import (
+    decode_pairs,
+    encode_pairs,
+    merge_sorted_disjoint,
+    reject_members,
+)
 
 
 @dataclass(frozen=True)
@@ -73,6 +90,41 @@ Overrides = Mapping[int, FakeReport]
 
 
 @dataclass
+class PairedBaseline:
+    """Link from a paired-run view to the shared honest collection.
+
+    Attached to the :class:`CollectedReports` of a
+    :meth:`GraphLDPProtocol.collect_paired` run.  For the honest view itself
+    ``honest`` is the carrying reports object and ``touched`` is empty; for
+    an after-view ``touched`` names the rows the overrides may have changed.
+    Estimators treat this as an *optimisation hint only*: every quantity
+    derived through it must be bit-identical to a from-scratch computation
+    on the carrying reports, and ``touched=None`` (changes not localisable,
+    e.g. LDPGen's regenerated synthetic graph) mandates a full recompute.
+
+    Attributes
+    ----------
+    honest:
+        The shared honest reports (the before-world view).
+    touched:
+        Sorted ids of users whose adjacency rows may differ from the honest
+        graph — a vertex cover of every changed pair.  ``None`` = unknown.
+    added_codes / removed_codes:
+        Net sorted pair codes of edges present only in this view / only in
+        the honest graph.  ``None`` when not tracked.
+    cache:
+        Scratch shared by all views of one paired run (honest triangle
+        counts, the packed honest matrix, intra-community counts, ...).
+    """
+
+    honest: "CollectedReports"
+    touched: Optional[np.ndarray]
+    added_codes: Optional[np.ndarray] = None
+    removed_codes: Optional[np.ndarray] = None
+    cache: dict = field(default_factory=dict)
+
+
+@dataclass
 class CollectedReports:
     """Server-side view after one collection round.
 
@@ -97,6 +149,12 @@ class CollectedReports:
         server-side knowledge: estimators must shrink the per-row bit count
         from ``N - 1`` to ``N - 1 - |excluded|`` and extrapolate, otherwise
         every removal shifts all degree estimates downward.
+    baseline:
+        Present only on the views of a paired run
+        (:meth:`GraphLDPProtocol.collect_paired`): the shared honest state
+        and the localisation of this view's changes, enabling incremental
+        estimation.  Never part of equality or the server's knowledge model;
+        defenses drop it when they rebuild reports.
     """
 
     perturbed_graph: Graph
@@ -105,6 +163,7 @@ class CollectedReports:
     degree_epsilon: float
     overridden: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
     excluded: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    baseline: Optional[PairedBaseline] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self):
         degrees = np.asarray(self.reported_degrees, dtype=np.float64)
@@ -128,7 +187,26 @@ class GraphLDPProtocol(abc.ABC):
     def collect(
         self, graph: Graph, rng: RngLike, overrides: Overrides | None = None
     ) -> CollectedReports:
-        """Run one collection round and return the server-side reports."""
+        """Run one collection round and return the server-side reports.
+
+        All genuine-user noise must derive from named child streams of
+        ``rng``, so two calls with the same seed — with and without
+        ``overrides`` — differ only by the attacker's action (the
+        common-random-numbers contract :meth:`collect_paired` and
+        ``repro.core.gain`` build on).
+        """
+
+    def collect_paired(self, graph: Graph, rng: RngLike) -> "PairedCollection":
+        """One honest collection shared across before/after views.
+
+        ``rng`` must be replayable (an ``int`` or ``SeedSequence``), because
+        the paired contract is defined against re-running :meth:`collect`
+        with the same seed.  The default implementation literally re-runs
+        :meth:`collect` per view; protocols override it to materialise the
+        honest randomness once and derive after-views by applying overrides
+        to the shared state — bit-identical by construction, collected once.
+        """
+        return TwoRunPairedCollection(self, graph, rng)
 
     @abc.abstractmethod
     def estimate_degree_centrality(self, reports: CollectedReports) -> np.ndarray:
@@ -143,22 +221,47 @@ class GraphLDPProtocol(abc.ABC):
         """Modularity estimate for a given community labelling."""
 
 
-def apply_overrides(
+def _crafted_pair_codes(overrides: Overrides, num_nodes: int) -> np.ndarray:
+    """Validated, deduplicated pair codes of every claimed (node, neighbor).
+
+    Builds the full (node, neighbor) arrays in one shot and validates them
+    with numpy masks instead of a per-edge python loop; error messages name
+    the first offending fake user.
+    """
+    sizes = [report.claimed_neighbors.size for report in overrides.values()]
+    total = sum(sizes)
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    nodes = np.repeat(np.fromiter(overrides.keys(), dtype=np.int64, count=len(overrides)), sizes)
+    neighbors = np.concatenate(
+        [report.claimed_neighbors for report in overrides.values()]
+    ).astype(np.int64, copy=False)
+    self_loops = nodes == neighbors
+    if self_loops.any():
+        raise ValueError(f"fake user {int(nodes[self_loops][0])} claims a self-loop")
+    out_of_range = (neighbors < 0) | (neighbors >= num_nodes)
+    if out_of_range.any():
+        position = int(np.flatnonzero(out_of_range)[0])
+        raise ValueError(
+            f"fake user {int(nodes[position])} claims out-of-range "
+            f"neighbor {int(neighbors[position])}"
+        )
+    return np.unique(encode_pairs(nodes, neighbors, num_nodes))
+
+
+def apply_overrides_tracked(
     perturbed: Graph, overrides: Overrides | None
-) -> tuple[Graph, np.ndarray]:
-    """Replace overridden users' adjacency pairs with their claimed edges.
+) -> tuple[Graph, np.ndarray, np.ndarray, np.ndarray]:
+    """:func:`apply_overrides` that also reports the net edge changes.
 
-    Replace-mode reports control every pair incident to their user: the
-    randomized-response bits for those pairs are dropped and the claimed
-    edges inserted.  Augment-mode reports keep the user's RR pairs and only
-    add the extra claimed edges.  Pairs between two non-overridden users
-    always keep their RR bits, which preserves common random numbers across
-    paired runs.
-
-    Returns the resulting graph and the sorted array of overridden ids.
+    Returns ``(graph, overridden, added_codes, removed_codes)`` where the
+    code arrays are the sorted pair codes present only in the result /
+    only in ``perturbed``.  Both are incident to ``overridden`` by
+    construction — the localisation guarantee incremental estimators need.
     """
     if not overrides:
-        return perturbed, np.empty(0, dtype=np.int64)
+        empty = np.empty(0, dtype=np.int64)
+        return perturbed, empty, empty, empty
 
     overridden = np.sort(np.fromiter(overrides.keys(), dtype=np.int64))
     n = perturbed.num_nodes
@@ -174,28 +277,193 @@ def apply_overrides(
     keep = ~(flags[rows] | flags[cols])
     # edge_arrays() is aligned with edge_codes, so the kept codes are already
     # sorted and unique — no python-tuple round trip, no np.unique re-sort.
-    stripped = Graph.from_codes(n, perturbed.edge_codes[keep], assume_sorted_unique=True)
+    kept_codes = perturbed.edge_codes[keep]
+    dropped_codes = perturbed.edge_codes[~keep]
 
-    crafted: list[tuple[int, int]] = []
-    for node, report in overrides.items():
-        for neighbor in report.claimed_neighbors.tolist():
-            if neighbor == node:
-                raise ValueError(f"fake user {node} claims a self-loop")
-            if not 0 <= neighbor < n:
-                raise ValueError(f"fake user {node} claims out-of-range neighbor {neighbor}")
-            crafted.append((node, neighbor))
-    return stripped.with_edges(crafted), overridden
+    # Net changes: a crafted edge that coincides with a surviving RR pair is
+    # no change at all, and one that re-creates a dropped pair cancels the
+    # removal.  All code arrays are sorted and unique, so membership runs as
+    # binary search and the union as a disjoint merge — no hash-based
+    # np.unique/np.union1d pass over the near-dense kept set.
+    crafted = _crafted_pair_codes(overrides, n)
+    merged = merge_sorted_disjoint(kept_codes, reject_members(crafted, kept_codes))
+    result = Graph.from_codes(n, merged, assume_sorted_unique=True)
+    added_codes = reject_members(crafted, perturbed.edge_codes)
+    removed_codes = reject_members(dropped_codes, crafted)
+    return result, overridden, added_codes, removed_codes
+
+
+def apply_overrides(
+    perturbed: Graph, overrides: Overrides | None
+) -> tuple[Graph, np.ndarray]:
+    """Replace overridden users' adjacency pairs with their claimed edges.
+
+    Replace-mode reports control every pair incident to their user: the
+    randomized-response bits for those pairs are dropped and the claimed
+    edges inserted.  Augment-mode reports keep the user's RR pairs and only
+    add the extra claimed edges (duplicates of surviving RR pairs are
+    deduplicated — the graph is simple).  Pairs between two non-overridden
+    users always keep their RR bits, which preserves common random numbers
+    across paired runs: this is the invariant that makes the after-world of
+    a shared honest collection (:meth:`GraphLDPProtocol.collect_paired`)
+    bit-identical to an independent re-collection under the same seed.
+
+    Returns the resulting graph and the sorted array of overridden ids.
+    """
+    result, overridden, _, _ = apply_overrides_tracked(perturbed, overrides)
+    return result, overridden
 
 
 def apply_degree_overrides(
     noisy_degrees: np.ndarray, overrides: Overrides | None
 ) -> np.ndarray:
-    """Apply crafted degree reports (replace) or shifts (augment)."""
+    """Apply crafted degree reports (replace) or shifts (augment).
+
+    Replace-mode reports substitute ``reported_degree`` verbatim;
+    augment-mode reports shift the honest noisy report by exactly
+    ``degree_delta``.  Vectorised over the override mapping (one fancy
+    assignment per mode); because the honest noisy degrees are an input,
+    the same array can serve every after-view of a shared collection.
+    """
     result = np.array(noisy_degrees, dtype=np.float64, copy=True)
     if overrides:
-        for node, report in overrides.items():
-            if report.augment:
-                result[node] += float(report.degree_delta)
-            else:
-                result[node] = float(report.reported_degree)
+        nodes = np.fromiter(overrides.keys(), dtype=np.int64, count=len(overrides))
+        augment = np.fromiter(
+            (report.augment for report in overrides.values()), dtype=bool, count=len(overrides)
+        )
+        if augment.any():
+            deltas = np.fromiter(
+                (float(report.degree_delta) for report in overrides.values()),
+                dtype=np.float64,
+                count=len(overrides),
+            )
+            result[nodes[augment]] += deltas[augment]
+        if not augment.all():
+            values = np.fromiter(
+                (float(report.reported_degree) for report in overrides.values()),
+                dtype=np.float64,
+                count=len(overrides),
+            )
+            result[nodes[~augment]] = values[~augment]
     return result
+
+
+def require_replayable_seed(rng: RngLike) -> RngLike:
+    """Reject seeds the paired contract cannot replay.
+
+    A live ``Generator`` advances on use and ``None`` means fresh entropy —
+    either would give every view *different* honest randomness, silently
+    unpairing the before/after comparison.
+    """
+    if rng is None or isinstance(rng, np.random.Generator):
+        raise TypeError(
+            "collect_paired needs a replayable seed (int or SeedSequence), "
+            f"not {type(rng).__name__} — paired views must re-derive identical streams"
+        )
+    return rng
+
+
+class PairedCollection(abc.ABC):
+    """One honest collection exposed as a before-view plus after-views.
+
+    ``before`` is the honest world; ``after(overrides)`` the attacked world
+    under common random numbers.  Implementations guarantee both views are
+    bit-identical to independent ``collect`` calls with the shared seed.
+    """
+
+    @property
+    @abc.abstractmethod
+    def before(self) -> CollectedReports:
+        """The honest (before-world) reports."""
+
+    @abc.abstractmethod
+    def after(self, overrides: Overrides | None) -> CollectedReports:
+        """An attacked after-view under the shared randomness."""
+
+
+class TwoRunPairedCollection(PairedCollection):
+    """Fallback pairing that re-runs ``collect`` per view.
+
+    Used by protocols without a shared-state implementation; views are
+    paired through seed replay exactly as the legacy two-run path, so
+    results are identical — only the redundant honest computation remains.
+    """
+
+    def __init__(self, protocol: GraphLDPProtocol, graph: Graph, rng: RngLike):
+        self._protocol = protocol
+        self._graph = graph
+        self._seed = require_replayable_seed(rng)
+        self._before = protocol.collect(graph, rng)
+
+    @property
+    def before(self) -> CollectedReports:
+        return self._before
+
+    def after(self, overrides: Overrides | None) -> CollectedReports:
+        if not overrides:
+            return self._before
+        return self._protocol.collect(self._graph, self._seed, overrides=overrides)
+
+
+class SharedGraphPairedCollection(PairedCollection):
+    """Paired views over one shared honest perturbed graph + degree vector.
+
+    The shape used by pair-level protocols (LF-GDPR): the honest randomness
+    lives entirely in ``honest.perturbed_graph`` and
+    ``honest.reported_degrees``, and an after-view is a pure function of
+    that state and the overrides (:func:`apply_overrides` +
+    :func:`apply_degree_overrides`).  Every view carries a
+    :class:`PairedBaseline`, so estimators can reuse honest intermediates
+    and update them incrementally; the after-graph's degree array is seeded
+    from the honest degrees plus the net edge changes (exact integers, so
+    downstream estimates stay bit-identical while skipping the O(E)
+    recount).
+    """
+
+    def __init__(self, honest: CollectedReports):
+        self._cache: dict = {}
+        honest.baseline = PairedBaseline(
+            honest=honest,
+            touched=np.empty(0, dtype=np.int64),
+            added_codes=np.empty(0, dtype=np.int64),
+            removed_codes=np.empty(0, dtype=np.int64),
+            cache=self._cache,
+        )
+        self._before = honest
+
+    @property
+    def before(self) -> CollectedReports:
+        return self._before
+
+    def after(self, overrides: Overrides | None) -> CollectedReports:
+        honest = self._before
+        if not overrides:
+            return honest
+        graph, overridden, added, removed = apply_overrides_tracked(
+            honest.perturbed_graph, overrides
+        )
+        if graph is not honest.perturbed_graph:
+            degrees = np.array(honest.perturbed_graph.degrees(), dtype=np.int64, copy=True)
+            for codes, sign in ((added, 1), (removed, -1)):
+                if codes.size:
+                    rows, cols = decode_pairs(codes, graph.num_nodes)
+                    degrees += sign * (
+                        np.bincount(rows, minlength=graph.num_nodes)
+                        + np.bincount(cols, minlength=graph.num_nodes)
+                    )
+            graph._seed_degrees(degrees)
+        reported = apply_degree_overrides(honest.reported_degrees, overrides)
+        return CollectedReports(
+            perturbed_graph=graph,
+            reported_degrees=reported,
+            adjacency_epsilon=honest.adjacency_epsilon,
+            degree_epsilon=honest.degree_epsilon,
+            overridden=overridden,
+            baseline=PairedBaseline(
+                honest=honest,
+                touched=overridden,
+                added_codes=added,
+                removed_codes=removed,
+                cache=self._cache,
+            ),
+        )

@@ -144,6 +144,7 @@ def estimate_clustering_coefficients(
     epsilon: float,
     clip: bool = True,
     degree_plugin: str = "perturbed",
+    observed_triangles: np.ndarray | None = None,
 ) -> np.ndarray:
     """Clustering-coefficient estimates from the perturbed graph (Eq. 15).
 
@@ -159,12 +160,20 @@ def estimate_clustering_coefficients(
       the paper's attack analysis (and Theorem 2) is built on.
     * ``"calibrated"`` — unbiased true-degree estimates from the perturbed
       rows; a strictly better estimator, kept as an ablation (DESIGN.md §6).
+
+    ``observed_triangles`` optionally supplies the per-node triangle counts
+    of ``perturbed`` (exact integers), skipping the dominant
+    :func:`triangles_per_node` pass — the hook paired incremental
+    evaluation uses.  The counts must equal what a recount would produce;
+    every downstream float operation is then identical.
     """
     if degree_plugin not in ("perturbed", "calibrated"):
         raise ValueError(
             f"degree_plugin must be 'perturbed' or 'calibrated', got {degree_plugin!r}"
         )
-    observed = triangles_per_node(perturbed).astype(np.float64)
+    if observed_triangles is None:
+        observed_triangles = triangles_per_node(perturbed)
+    observed = np.asarray(observed_triangles).astype(np.float64)
     if degree_plugin == "perturbed":
         degrees = perturbed.degrees().astype(np.float64)
     else:
@@ -183,17 +192,36 @@ def estimate_clustering_coefficients(
     return estimates
 
 
+def observed_intra_community_edges(
+    perturbed: Graph, labels: np.ndarray, num_communities: int
+) -> np.ndarray:
+    """Exact per-community intra-edge counts of the perturbed graph.
+
+    Both branches count the same integers, so the density dispatch is
+    bit-identical; the packed branch popcounts masked rows instead of
+    decoding and bucketing every edge of a near-dense perturbed graph.
+    """
+    if should_use_packed(perturbed):
+        return BitMatrix.from_graph(perturbed).intra_community_edges(labels, num_communities)
+    rows, cols = perturbed.edge_arrays()
+    same = labels[rows] == labels[cols]
+    return np.bincount(labels[rows[same]], minlength=num_communities)
+
+
 def estimate_modularity(
     perturbed: Graph,
     labels: np.ndarray,
     epsilon: float,
     fused_degrees: np.ndarray,
+    observed_intra: np.ndarray | None = None,
 ) -> float:
     """Modularity estimate for a server-held partition.
 
     Intra-community edge counts observed in the perturbed graph are
     calibrated per community (the number of intra pairs is known from the
     partition); total edge mass comes from the fused degree estimates.
+    ``observed_intra`` optionally supplies the exact intra counts (the
+    paired incremental hook, mirroring ``observed_triangles`` above).
     """
     labels = np.asarray(labels, dtype=np.int64)
     n = perturbed.num_nodes
@@ -201,21 +229,9 @@ def estimate_modularity(
         raise ValueError("labels must have one entry per node")
     num_communities = int(labels.max()) + 1 if n else 0
 
-    # Both branches count intra-community edges exactly, so the dispatch is
-    # bit-identical; the packed branch popcounts masked rows instead of
-    # decoding and bucketing every edge of a near-dense perturbed graph.
-    if should_use_packed(perturbed):
-        observed_intra = (
-            BitMatrix.from_graph(perturbed)
-            .intra_community_edges(labels, num_communities)
-            .astype(np.float64)
-        )
-    else:
-        rows, cols = perturbed.edge_arrays()
-        same = labels[rows] == labels[cols]
-        observed_intra = np.bincount(
-            labels[rows[same]], minlength=num_communities
-        ).astype(np.float64)
+    if observed_intra is None:
+        observed_intra = observed_intra_community_edges(perturbed, labels, num_communities)
+    observed_intra = np.asarray(observed_intra).astype(np.float64)
     community_sizes = np.bincount(labels, minlength=num_communities).astype(np.float64)
     intra_pairs = community_sizes * (community_sizes - 1.0) / 2.0
     estimated_intra = np.maximum(

@@ -25,7 +25,13 @@ from scipy.cluster.vq import kmeans2
 
 from repro.graph.adjacency import Graph
 from repro.graph.metrics import local_clustering_coefficients, modularity_from_labels
-from repro.protocols.base import CollectedReports, GraphLDPProtocol, Overrides
+from repro.protocols.base import (
+    CollectedReports,
+    GraphLDPProtocol,
+    Overrides,
+    PairedCollection,
+    require_replayable_seed,
+)
 from repro.utils.rng import RngLike, child_rng
 from repro.utils.sparse import decode_pairs, pairs_between, sample_pairs_excluding
 from repro.utils.validation import check_positive
@@ -88,6 +94,56 @@ def _sample_bipartite_edges(
     return list(zip(group_a[a_index].tolist(), group_b[b_index].tolist()))
 
 
+class _LDPGenSharedState:
+    """The honest (override-independent) randomness of one LDPGen round.
+
+    Everything here is a pure function of ``(graph, seed)``: the initial
+    grouping, the organic phase-1 vectors, both Laplace noise matrices and
+    the k-means seed.  Phase-2 noise can be pre-drawn because its shape
+    ``(n, clusters)`` does not depend on overrides; each stream is an
+    independent named child of the seed, so drawing it here rather than
+    mid-pipeline yields identical values.
+    """
+
+    __slots__ = (
+        "graph", "seed", "initial_labels", "noisy1", "clusters",
+        "kmeans_seed", "phase2_noise",
+    )
+
+    def __init__(self, protocol: "LDPGenProtocol", graph: Graph, rng: RngLike):
+        n = graph.num_nodes
+        noise_scale = 1.0 / protocol.phase_epsilon
+        self.graph = graph
+        self.seed = rng
+        group_rng = child_rng(rng, "ldpgen-grouping")
+        self.initial_labels = group_rng.integers(0, protocol.initial_groups, size=n)
+        vectors1 = _group_count_vectors(graph, self.initial_labels, protocol.initial_groups)
+        phase1_rng = child_rng(rng, "ldpgen-phase1")
+        self.noisy1 = vectors1 + phase1_rng.laplace(0.0, noise_scale, size=vectors1.shape)
+        self.clusters = min(protocol.refined_groups, max(1, n))
+        self.kmeans_seed = int(child_rng(rng, "ldpgen-kmeans").integers(2**31))
+        phase2_rng = child_rng(rng, "ldpgen-phase2")
+        self.phase2_noise = phase2_rng.laplace(0.0, noise_scale, size=(n, self.clusters))
+
+
+class _LDPGenPairedCollection(PairedCollection):
+    """Paired LDPGen views sharing one :class:`_LDPGenSharedState`."""
+
+    def __init__(self, protocol: "LDPGenProtocol", graph: Graph, rng: RngLike):
+        self._protocol = protocol
+        self._state = _LDPGenSharedState(protocol, graph, require_replayable_seed(rng))
+        self._before = protocol._collect_from_state(self._state, None)
+
+    @property
+    def before(self) -> CollectedReports:
+        return self._before
+
+    def after(self, overrides: Overrides | None) -> CollectedReports:
+        if not overrides:
+            return self._before
+        return self._protocol._collect_from_state(self._state, overrides)
+
+
 class LDPGenProtocol(GraphLDPProtocol):
     """LDPGen with configurable group counts.
 
@@ -129,29 +185,41 @@ class LDPGenProtocol(GraphLDPProtocol):
         ``reported_degrees`` are the users' total noisy neighbour counts from
         phase 2 (the degree information the server actually holds).
         """
-        n = graph.num_nodes
-        noise_scale = 1.0 / self.phase_epsilon
+        return self._collect_from_state(_LDPGenSharedState(self, graph, rng), overrides)
 
-        group_rng = child_rng(rng, "ldpgen-grouping")
-        initial_labels = group_rng.integers(0, self.initial_groups, size=n)
+    def collect_paired(self, graph: Graph, rng: RngLike) -> PairedCollection:
+        """One draw of the honest randomness shared across before/after views.
 
-        phase1_rng = child_rng(rng, "ldpgen-phase1")
-        vectors1 = _group_count_vectors(graph, initial_labels, self.initial_groups)
-        noisy1 = vectors1 + phase1_rng.laplace(0.0, noise_scale, size=vectors1.shape)
-        noisy1 = _apply_vector_overrides(noisy1, initial_labels, self.initial_groups, overrides)
+        LDPGen's honest randomness — initial grouping, both Laplace noise
+        matrices, the k-means seed — is a pure function of the seed, so the
+        paired run draws it once.  The downstream pipeline (k-means on the
+        overridden phase-1 vectors, phase-2 counting, synthetic generation)
+        still reruns per view, because overrides can re-cluster users and
+        thereby change the synthetic graph globally: after-views are
+        therefore *not* localisable and carry no incremental baseline.
+        """
+        return _LDPGenPairedCollection(self, graph, rng)
 
-        clusters = min(self.refined_groups, max(1, n))
+    def _collect_from_state(
+        self, state: "_LDPGenSharedState", overrides: Overrides | None
+    ) -> CollectedReports:
+        """The override-dependent tail of the pipeline, given shared state."""
+        clusters = state.clusters
+        noisy1 = _apply_vector_overrides(
+            state.noisy1, state.initial_labels, self.initial_groups, overrides
+        )
         _, refined_labels = kmeans2(
-            noisy1, clusters, minit="points", seed=int(child_rng(rng, "ldpgen-kmeans").integers(2**31)),
+            noisy1, clusters, minit="points", seed=state.kmeans_seed
         )
         refined_labels = refined_labels.astype(np.int64)
 
-        phase2_rng = child_rng(rng, "ldpgen-phase2")
-        vectors2 = _group_count_vectors(graph, refined_labels, clusters)
-        noisy2 = vectors2 + phase2_rng.laplace(0.0, noise_scale, size=vectors2.shape)
+        vectors2 = _group_count_vectors(state.graph, refined_labels, clusters)
+        noisy2 = vectors2 + state.phase2_noise
         noisy2 = _apply_vector_overrides(noisy2, refined_labels, clusters, overrides)
 
-        synthetic = self._generate(noisy2, refined_labels, clusters, child_rng(rng, "ldpgen-generate"))
+        synthetic = self._generate(
+            noisy2, refined_labels, clusters, child_rng(state.seed, "ldpgen-generate")
+        )
         overridden = (
             np.sort(np.fromiter(overrides.keys(), dtype=np.int64))
             if overrides

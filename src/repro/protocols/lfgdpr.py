@@ -24,6 +24,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.adjacency import Graph
+from repro.graph.metrics import (
+    should_use_incremental,
+    triangles_per_node_cached,
+    triangles_per_node_incremental,
+)
 from repro.ldp.budget import BudgetAllocation, split_budget
 from repro.ldp.mechanisms import perturb_degree
 from repro.ldp.perturbation import perturb_graph
@@ -31,16 +36,21 @@ from repro.protocols.base import (
     CollectedReports,
     GraphLDPProtocol,
     Overrides,
+    PairedCollection,
+    SharedGraphPairedCollection,
     apply_degree_overrides,
     apply_overrides,
+    require_replayable_seed,
 )
 from repro.protocols.estimators import (
     degrees_from_perturbed_graph,
     estimate_clustering_coefficients,
     estimate_modularity,
     fuse_degree_estimates,
+    observed_intra_community_edges,
 )
 from repro.utils.rng import RngLike, child_rng
+from repro.utils.sparse import decode_pairs
 from repro.utils.validation import check_positive
 
 
@@ -128,6 +138,32 @@ class LFGDPRProtocol(GraphLDPProtocol):
             overridden=overridden,
         )
 
+    def collect_paired(self, graph: Graph, rng: RngLike) -> PairedCollection:
+        """One honest perturbation shared across before/after views.
+
+        LF-GDPR's honest randomness is exactly the perturbed graph and the
+        noisy degree vector, both pure functions of the seed — so the paired
+        run draws them once and manufactures after-views by override
+        application alone, bit-identical to :meth:`collect` under the same
+        seed but at half the collection cost per pair.
+        """
+        rng = require_replayable_seed(rng)
+        perturbed = perturb_graph(
+            graph, self.budget.adjacency_epsilon, rng=child_rng(rng, "lfgdpr-adjacency")
+        )
+        noisy_degrees = perturb_degree(
+            graph.degrees(),
+            self.budget.degree_epsilon,
+            rng=child_rng(rng, "lfgdpr-degree"),
+        )
+        honest = CollectedReports(
+            perturbed_graph=perturbed,
+            reported_degrees=np.asarray(noisy_degrees, dtype=np.float64),
+            adjacency_epsilon=self.budget.adjacency_epsilon,
+            degree_epsilon=self.budget.degree_epsilon,
+        )
+        return SharedGraphPairedCollection(honest)
+
     # ------------------------------------------------------------------
     # Estimation
     # ------------------------------------------------------------------
@@ -170,6 +206,7 @@ class LFGDPRProtocol(GraphLDPProtocol):
                 reports.adjacency_epsilon,
                 clip=self.clip_clustering,
                 degree_plugin=self.clustering_degree_plugin,
+                observed_triangles=self._paired_triangles(reports),
             )
         n = reports.num_nodes
         kept = np.setdiff1d(np.arange(n), excluded)
@@ -191,4 +228,74 @@ class LFGDPRProtocol(GraphLDPProtocol):
             labels,
             reports.adjacency_epsilon,
             self.estimate_degrees(reports),
+            observed_intra=self._paired_intra(reports, labels),
         )
+
+    # ------------------------------------------------------------------
+    # Incremental paired-run estimation
+    # ------------------------------------------------------------------
+    def _paired_triangles(self, reports: CollectedReports) -> np.ndarray | None:
+        """Perturbed-graph triangle counts via the paired baseline, if any.
+
+        Honest view: computed once and cached on the shared run.  After
+        view: the honest counts are updated over the touched rows only
+        (exact integers, bit-identical to a full recount — see
+        :func:`repro.graph.metrics.triangles_per_node_incremental`), falling
+        back to a full recount past ``REPRO_DELTA_THRESHOLD``.  Returns
+        ``None`` when the reports carry no usable baseline, letting the
+        caller recompute from scratch.
+        """
+        base = reports.baseline
+        if base is None:
+            return None
+        honest_graph = base.honest.perturbed_graph
+        if reports is base.honest:
+            return triangles_per_node_cached(honest_graph, base.cache)
+        if base.touched is None:
+            return None
+        return triangles_per_node_incremental(
+            honest_graph,
+            reports.perturbed_graph,
+            base.touched,
+            triangles_per_node_cached(honest_graph, base.cache),
+            cache=base.cache,
+            added_codes=base.added_codes,
+            removed_codes=base.removed_codes,
+        )
+
+    def _paired_intra(self, reports: CollectedReports, labels: np.ndarray) -> np.ndarray | None:
+        """Observed intra-community edge counts via the paired baseline.
+
+        The honest counts are cached per labelling; an after-view adjusts
+        them by bucketing only the net added/removed same-label edges —
+        exact integer updates, bit-identical to recounting the whole graph.
+        """
+        base = reports.baseline
+        if base is None:
+            return None
+        labels = np.asarray(labels, dtype=np.int64)
+        n = reports.num_nodes
+        num_communities = int(labels.max()) + 1 if n else 0
+        cached = base.cache.get("intra")
+        if cached is None or not np.array_equal(cached[0], labels):
+            honest_counts = observed_intra_community_edges(
+                base.honest.perturbed_graph, labels, num_communities
+            )
+            base.cache["intra"] = (labels, honest_counts)
+        else:
+            honest_counts = cached[1]
+        if reports is base.honest:
+            return honest_counts
+        if base.touched is None or base.added_codes is None or base.removed_codes is None:
+            return None
+        if not should_use_incremental(n, base.touched.size):
+            return None
+        counts = np.array(honest_counts, copy=True)
+        for codes, sign in ((base.added_codes, 1), (base.removed_codes, -1)):
+            if codes.size:
+                rows, cols = decode_pairs(codes, n)
+                same = labels[rows] == labels[cols]
+                counts += sign * np.bincount(
+                    labels[rows[same]], minlength=num_communities
+                )
+        return counts

@@ -99,8 +99,14 @@ def merge_sorted_disjoint(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return out
 
 
-def _reject_members(draws: np.ndarray, reference: np.ndarray) -> np.ndarray:
-    """Drop every element of sorted ``draws`` present in sorted ``reference``."""
+def reject_members(draws: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    """Drop every element of sorted ``draws`` present in sorted ``reference``.
+
+    Binary-search membership over the sorted ``reference`` — the shared
+    idiom behind rejection sampling and the net-change bookkeeping of
+    attack-override application.  Both inputs must be sorted; ``draws``
+    need not be unique.
+    """
     if not reference.size or not draws.size:
         return draws
     positions = np.searchsorted(reference, draws)
@@ -170,11 +176,11 @@ def sample_pairs_excluding(
             )
         draws = rng.integers(0, total, size=batch, dtype=np.int64)
         draws = np.unique(draws)
-        draws = _reject_members(draws, forbidden)
+        draws = reject_members(draws, forbidden)
         # Earlier blocks are sorted (a post-``choice`` block is only ever
         # appended in the final round, after which the loop exits).
         for block in chosen:
-            draws = _reject_members(draws, block)
+            draws = reject_members(draws, block)
         if draws.size > remaining:
             draws = rng.choice(draws, size=remaining, replace=False)
         if draws.size:
