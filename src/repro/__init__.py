@@ -44,9 +44,12 @@ from repro.engine import (
     ATTACKS,
     DEFENSES,
     PROTOCOLS,
+    EngineSession,
+    GraphStore,
     ParallelExecutor,
     ResultCache,
     SerialExecutor,
+    ShardedResultStore,
     TrialTask,
 )
 from repro.graph import Graph, load_dataset
@@ -60,6 +63,7 @@ from repro.scenarios import (
     get_scenario,
     register_scenario,
     run_scenario,
+    run_scenarios,
 )
 
 __version__ = "1.0.0"
@@ -75,9 +79,13 @@ __all__ = [
     "get_scenario",
     "register_scenario",
     "run_scenario",
+    "run_scenarios",
+    "EngineSession",
+    "GraphStore",
     "ParallelExecutor",
     "ResultCache",
     "SerialExecutor",
+    "ShardedResultStore",
     "TrialTask",
     "Attack",
     "AttackerKnowledge",

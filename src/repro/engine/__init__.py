@@ -11,9 +11,17 @@ cache in front:
   configs, task specs and the CLI;
 * :mod:`repro.engine.tasks` — the frozen task spec and its stable content
   hash (the cache key);
-* :mod:`repro.engine.cache` — the on-disk JSON result cache;
+* :mod:`repro.engine.cache` — the legacy per-task JSON result cache;
+* :mod:`repro.engine.result_store` — the sharded append-only result store
+  (the default cache), with transparent read-through of the legacy layout;
+* :mod:`repro.engine.graph_store` — graphs registered by content key and
+  exported once into shared memory for zero-copy worker attach;
 * :mod:`repro.engine.executors` — serial and process-pool execution plus
-  :func:`~repro.engine.executors.run_tasks`, the cache-aware orchestrator.
+  :func:`~repro.engine.executors.run_tasks` /
+  :func:`~repro.engine.executors.run_batch`, the cache-aware orchestrators;
+* :mod:`repro.engine.session` — :class:`~repro.engine.session.EngineSession`,
+  the persistent pool + graph store + cache driving heterogeneous
+  (multi-graph) batches.
 
 Determinism is the design invariant: every task carries its own derived
 seed, so the result of a task is a pure function of its spec and the graph.
@@ -29,9 +37,14 @@ from repro.engine.executors import (
     cache_for,
     execute_task,
     executor_for,
+    min_parallel_tasks,
+    run_batch,
     run_tasks,
 )
+from repro.engine.graph_store import GraphStore
 from repro.engine.registry import ATTACKS, DEFENSES, PROTOCOLS, Registry
+from repro.engine.result_store import ShardedResultStore
+from repro.engine.session import EngineSession, session_scope
 from repro.engine.tasks import (
     TrialTask,
     derive_trial_seed,
@@ -55,8 +68,14 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "ParallelExecutor",
+    "EngineSession",
+    "GraphStore",
+    "ShardedResultStore",
     "cache_for",
     "execute_task",
     "executor_for",
+    "min_parallel_tasks",
+    "run_batch",
     "run_tasks",
+    "session_scope",
 ]

@@ -21,7 +21,7 @@ import tempfile
 from pathlib import Path
 from typing import Optional, Union
 
-from repro.engine.tasks import TrialTask
+from repro.engine.tasks import TrialTask, identity_payload
 
 #: Invalidation stamp: entries written under another version are ignored.
 CACHE_VERSION = 1
@@ -67,8 +67,7 @@ class ResultCache:
         except (OSError, json.JSONDecodeError):
             self.misses += 1
             return None
-        identity = dict(task.identity())
-        identity["defense_args"] = [list(pair) for pair in task.defense_args]
+        identity = identity_payload(task)
         if entry.get("cache_version") != CACHE_VERSION or entry.get("task") != identity:
             self.misses += 1
             return None
@@ -79,9 +78,11 @@ class ResultCache:
         """Persist ``gain`` for ``task`` atomically."""
         path = self.path_for(task)
         path.parent.mkdir(parents=True, exist_ok=True)
-        identity = dict(task.identity())
-        identity["defense_args"] = [list(pair) for pair in task.defense_args]
-        entry = {"cache_version": CACHE_VERSION, "task": identity, "gain": float(gain)}
+        entry = {
+            "cache_version": CACHE_VERSION,
+            "task": identity_payload(task),
+            "gain": float(gain),
+        }
         handle = tempfile.NamedTemporaryFile(
             "w", dir=path.parent, suffix=".tmp", delete=False, encoding="utf-8"
         )

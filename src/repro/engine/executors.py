@@ -1,4 +1,4 @@
-"""Task executors: serial, process-pool parallel, and the cache-aware driver.
+"""Task executors: serial, process-pool parallel, and the cache-aware drivers.
 
 :func:`execute_task` is the single definition of what running a task means;
 both executors (and any test stub) go through it, so the only difference
@@ -6,17 +6,31 @@ between backends is *where* tasks run.  Because every task carries its own
 derived seed, results are bit-identical across executors, worker counts and
 scheduling orders.
 
-:func:`run_tasks` is the orchestrator the experiment layer calls: it answers
-what it can from the cache, sends only the missing tasks to the executor,
-persists the new results and returns gains aligned with the input order.
+Two batch shapes exist:
+
+* **homogeneous** — every task runs on one graph; this is the historical
+  :meth:`Executor.execute` / :func:`run_tasks` surface;
+* **heterogeneous** — tasks reference different graphs (several panels,
+  figures or datasets in one fan-out) and resolve them through a
+  :class:`~repro.engine.graph_store.GraphStore`; this is the
+  :meth:`Executor.execute_batch` / :func:`run_batch` surface that
+  :class:`~repro.engine.session.EngineSession` drives.
+
+Parallel fan-out ships graphs through POSIX shared memory: the store (or a
+transient export for the homogeneous path) publishes each graph once, chunks
+are grouped by ``graph_key`` so a worker chunk maps exactly one graph, and a
+per-worker attach cache makes repeated chunks on the same graph free.
+Workers therefore never unpickle an edge-array copy — they zero-copy map the
+exporter's segment (create → attach → unlink; the exporter unlinks).
 """
 
 from __future__ import annotations
 
 import abc
 import os
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor as _ProcessPool
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -25,14 +39,44 @@ from repro.core.gain import evaluate_attack
 from repro.core.threat_model import ThreatModel
 from repro.defenses.evaluation import evaluate_defended_attack
 from repro.engine.cache import NullCache, ResultCache
+from repro.engine.graph_store import (
+    GraphStore,
+    SharedLabelsHandle,
+    attach_labels,
+)
 from repro.engine.registry import ATTACKS, DEFENSES, PROTOCOLS
+from repro.engine.result_store import ShardedResultStore
 from repro.engine.tasks import TrialTask
-from repro.graph.adjacency import Graph
+from repro.graph.adjacency import Graph, SharedGraphHandle
 from repro.protocols.base import GraphLDPProtocol
 from repro.utils.rng import child_rng
 
-#: Either real cache flavour.
-CacheLike = Union[ResultCache, NullCache]
+#: Any cache flavour the drivers accept.
+CacheLike = Union[ResultCache, ShardedResultStore, NullCache]
+
+#: Env knob: smallest batch worth a process-pool fan-out.  Batches below the
+#: threshold run in-process (pool startup would dominate).  Default 2 keeps
+#: the historical behaviour of parallelising everything but singletons.
+MIN_PARALLEL_TASKS_ENV = "REPRO_MIN_PARALLEL_TASKS"
+
+
+def min_parallel_tasks() -> int:
+    """The smallest task count :class:`ParallelExecutor` fans out (>= 1)."""
+    raw = os.environ.get(MIN_PARALLEL_TASKS_ENV, "")
+    if not raw:
+        return 2
+    try:
+        value = int(raw)
+    except ValueError:
+        import warnings
+
+        warnings.warn(
+            f"{MIN_PARALLEL_TASKS_ENV}={raw!r} is not an integer; "
+            "using the default threshold of 2",
+            stacklevel=2,
+        )
+        return 2
+    return max(1, value)
 
 
 def execute_task(
@@ -73,7 +117,7 @@ def execute_task(
 
 
 class Executor(abc.ABC):
-    """Strategy for running a batch of tasks against one graph."""
+    """Strategy for running a batch of tasks."""
 
     @abc.abstractmethod
     def execute(
@@ -82,7 +126,36 @@ class Executor(abc.ABC):
         graph: Graph,
         labels: Optional[np.ndarray] = None,
     ) -> List[float]:
-        """Gains of ``tasks``, in input order."""
+        """Gains of a homogeneous (single-graph) batch, in input order."""
+
+    def execute_batch(
+        self, tasks: Sequence[TrialTask], store: GraphStore
+    ) -> List[float]:
+        """Gains of a heterogeneous batch, in input order.
+
+        The default groups tasks by ``(graph_key, labels_key)`` and runs
+        each group through :meth:`execute`, so any single-graph executor —
+        including test stubs that count or stub :meth:`execute` — handles
+        multi-graph batches unchanged.
+        """
+        groups: "OrderedDict[Tuple[str, str], List[int]]" = OrderedDict()
+        for index, task in enumerate(tasks):
+            groups.setdefault((task.graph_key, task.labels_key), []).append(index)
+        gains: List[float] = [0.0] * len(tasks)
+        for (graph_key, labels_key), indices in groups.items():
+            computed = self.execute(
+                [tasks[index] for index in indices],
+                store.graph(graph_key),
+                store.labels(labels_key),
+            )
+            if len(computed) != len(indices):
+                raise RuntimeError(
+                    f"{type(self).__name__}.execute returned {len(computed)} "
+                    f"gains for {len(indices)} tasks"
+                )
+            for index, gain in zip(indices, computed):
+                gains[index] = gain
+        return gains
 
 
 class SerialExecutor(Executor):
@@ -98,39 +171,105 @@ class SerialExecutor(Executor):
         return [execute_task(task, graph, labels) for task in tasks]
 
 
-# Worker-process state, installed once per worker by the pool initializer so
-# the graph is shipped once per worker instead of once per task.
-_WORKER_GRAPH: Optional[Graph] = None
-_WORKER_LABELS: Optional[np.ndarray] = None
+# ---------------------------------------------------------------------------
+# Worker-side shared-memory attach cache
+# ---------------------------------------------------------------------------
+#: Most graphs/labelings a worker keeps mapped; beyond it the oldest entry's
+#: references are dropped (its segment closes when the arrays die).
+_ATTACH_CACHE_LIMIT = 64
+
+#: shm name -> (graph, segment): segments must stay referenced while any
+#: attached array is live, so the cache holds both.
+_ATTACHED_GRAPHS: "OrderedDict[str, tuple]" = OrderedDict()
+_ATTACHED_LABELS: "OrderedDict[str, tuple]" = OrderedDict()
 
 
-def _init_worker(graph: Graph, labels: Optional[np.ndarray]) -> None:
-    global _WORKER_GRAPH, _WORKER_LABELS
-    _WORKER_GRAPH = graph
-    _WORKER_LABELS = labels
+def _attached_graph(handle: SharedGraphHandle) -> Graph:
+    cached = _ATTACHED_GRAPHS.get(handle.shm_name)
+    if cached is None:
+        cached = Graph.attach_shared(handle)
+        _ATTACHED_GRAPHS[handle.shm_name] = cached
+        while len(_ATTACHED_GRAPHS) > _ATTACH_CACHE_LIMIT:
+            _ATTACHED_GRAPHS.popitem(last=False)
+    return cached[0]
 
 
-def _run_in_worker(task: TrialTask) -> float:
-    return execute_task(task, _WORKER_GRAPH, _WORKER_LABELS)
+def _attached_labels(handle: SharedLabelsHandle) -> np.ndarray:
+    cached = _ATTACHED_LABELS.get(handle.shm_name)
+    if cached is None:
+        cached = attach_labels(handle)
+        _ATTACHED_LABELS[handle.shm_name] = cached
+        while len(_ATTACHED_LABELS) > _ATTACH_CACHE_LIMIT:
+            _ATTACHED_LABELS.popitem(last=False)
+    return cached[0]
+
+
+def _run_shared_chunk(
+    graph_handles: Dict[str, SharedGraphHandle],
+    labels_handles: Dict[str, SharedLabelsHandle],
+    indexed_tasks: List[Tuple[int, TrialTask]],
+) -> List[Tuple[int, float]]:
+    """Worker entry point: run one chunk against shared-memory graphs."""
+    results = []
+    for index, task in indexed_tasks:
+        graph = _attached_graph(graph_handles[task.graph_key])
+        labels_handle = labels_handles.get(task.labels_key)
+        labels = _attached_labels(labels_handle) if labels_handle is not None else None
+        results.append((index, execute_task(task, graph, labels)))
+    return results
+
+
+def _chunk_indices_by_graph(
+    tasks: Sequence[TrialTask], chunk_count: int
+) -> List[List[int]]:
+    """Contiguous task-index chunks that never straddle a graph boundary.
+
+    Tasks are grouped by ``graph_key`` (stable within a group, so cache
+    replay order is deterministic) and each group split into chunks of at
+    most ``ceil(len(tasks) / chunk_count)`` tasks.  A chunk therefore maps
+    exactly one shared-memory graph, whatever mix of panels or datasets the
+    batch carries.
+    """
+    target = max(1, -(-len(tasks) // max(1, chunk_count)))
+    groups: "OrderedDict[str, List[int]]" = OrderedDict()
+    for index, task in enumerate(tasks):
+        groups.setdefault(task.graph_key, []).append(index)
+    chunks: List[List[int]] = []
+    for indices in groups.values():
+        for start in range(0, len(indices), target):
+            chunks.append(indices[start : start + target])
+    return chunks
 
 
 class ParallelExecutor(Executor):
     """Fan tasks out over a :class:`~concurrent.futures.ProcessPoolExecutor`.
 
     Bit-identical to :class:`SerialExecutor` because tasks are self-seeded;
-    the pool only changes wall-clock time.  Falls back to in-process
-    execution for batches too small to amortise worker startup.
+    the pool only changes wall-clock time.  Batches smaller than
+    :func:`min_parallel_tasks` (``REPRO_MIN_PARALLEL_TASKS``) run in-process
+    instead of paying pool startup.
 
     Parameters
     ----------
     jobs:
         Worker processes; defaults to the machine's CPU count.
+    pool_factory:
+        Zero-argument callable returning a *borrowed* live pool (from
+        :class:`~repro.engine.session.EngineSession`) reused across calls
+        instead of spinning one up per batch.  Called only when a batch
+        actually fans out — cache-warm and sub-threshold batches never
+        touch it.  The owner shuts the pool down; this executor never does.
     """
 
-    def __init__(self, jobs: Optional[int] = None):
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        pool_factory: Optional[Callable[[], _ProcessPool]] = None,
+    ):
         if jobs is not None and jobs < 1:
             raise ValueError(f"jobs must be at least 1, got {jobs}")
         self.jobs = int(jobs) if jobs is not None else (os.cpu_count() or 1)
+        self._pool_factory = pool_factory
 
     def execute(
         self,
@@ -138,15 +277,75 @@ class ParallelExecutor(Executor):
         graph: Graph,
         labels: Optional[np.ndarray] = None,
     ) -> List[float]:
-        """Gains of ``tasks``, in input order."""
-        if self.jobs == 1 or len(tasks) <= 1:
+        """Gains of ``tasks``, in input order (all on ``graph``)."""
+        if self.jobs == 1 or len(tasks) < min_parallel_tasks():
             return SerialExecutor().execute(tasks, graph, labels)
-        workers = min(self.jobs, len(tasks))
-        chunksize = max(1, len(tasks) // (workers * 4))
-        with _ProcessPool(
-            max_workers=workers, initializer=_init_worker, initargs=(graph, labels)
-        ) as pool:
-            return list(pool.map(_run_in_worker, tasks, chunksize=chunksize))
+        # Transient export: the one graph (and labelling) is published once;
+        # every distinct key in the batch aliases it, matching the serial
+        # contract that the *given* graph/labels win, whatever keys the
+        # tasks carry.
+        with GraphStore() as store:
+            handle, segment = graph.to_shared()
+            store.adopt_segment(segment)
+            graph_handles = {key: handle for key in {task.graph_key for task in tasks}}
+            labels_handles: Dict[str, SharedLabelsHandle] = {}
+            if labels is not None:
+                labels_handle = store.export_labels(store.add_labels(labels))
+                labels_handles = {
+                    key: labels_handle for key in {task.labels_key for task in tasks}
+                }
+            return self._fan_out(tasks, graph_handles, labels_handles)
+
+    def execute_batch(
+        self, tasks: Sequence[TrialTask], store: GraphStore
+    ) -> List[float]:
+        """Gains of a heterogeneous batch resolved through ``store``."""
+        if self.jobs == 1 or len(tasks) < min_parallel_tasks():
+            return super().execute_batch(tasks, store)
+        graph_handles, labels_handles = store.handles_for(tasks)
+        return self._fan_out(tasks, graph_handles, labels_handles)
+
+    def _fan_out(
+        self,
+        tasks: Sequence[TrialTask],
+        graph_handles: Mapping[str, SharedGraphHandle],
+        labels_handles: Mapping[str, SharedLabelsHandle],
+    ) -> List[float]:
+        chunks = _chunk_indices_by_graph(tasks, self.jobs * 4)
+        pool = self._pool_factory() if self._pool_factory is not None else None
+        owns_pool = pool is None
+        if owns_pool:
+            pool = _ProcessPool(max_workers=min(self.jobs, len(chunks)))
+        try:
+            futures = []
+            for chunk in chunks:
+                chunk_graphs = {
+                    tasks[index].graph_key: graph_handles[tasks[index].graph_key]
+                    for index in chunk
+                }
+                chunk_labels = {
+                    tasks[index].labels_key: labels_handles[tasks[index].labels_key]
+                    for index in chunk
+                    if tasks[index].labels_key in labels_handles
+                }
+                futures.append(
+                    pool.submit(
+                        _run_shared_chunk,
+                        chunk_graphs,
+                        chunk_labels,
+                        [(index, tasks[index]) for index in chunk],
+                    )
+                )
+            gains: List[Optional[float]] = [None] * len(tasks)
+            for future in futures:
+                for index, gain in future.result():
+                    gains[index] = gain
+            if any(gain is None for gain in gains):
+                raise RuntimeError("worker chunks did not cover every task")
+            return gains
+        finally:
+            if owns_pool:
+                pool.shutdown()
 
 
 def executor_for(config) -> Executor:
@@ -156,8 +355,12 @@ def executor_for(config) -> Executor:
 
 
 def cache_for(config) -> CacheLike:
-    """The cache implied by ``config.cache`` (False -> no caching)."""
-    return ResultCache() if getattr(config, "cache", False) else NullCache()
+    """The cache implied by ``config.cache`` (False -> no caching).
+
+    Caching now goes through the sharded append-only store; legacy per-task
+    caches at the same root keep answering through its read-through path.
+    """
+    return ShardedResultStore() if getattr(config, "cache", False) else NullCache()
 
 
 def run_tasks(
@@ -167,7 +370,7 @@ def run_tasks(
     executor: Optional[Executor] = None,
     cache: Optional[CacheLike] = None,
 ) -> List[float]:
-    """Execute a task batch through the cache: the engine's main entry point.
+    """Execute a homogeneous (single-graph) task batch through the cache.
 
     Cache hits are returned as-is; only misses reach the executor, and their
     results are persisted before returning.  The output is aligned with
@@ -179,6 +382,30 @@ def run_tasks(
     missing = [index for index, gain in enumerate(gains) if gain is None]
     if missing:
         computed = executor.execute([tasks[index] for index in missing], graph, labels)
+        for index, gain in zip(missing, computed):
+            cache.put(tasks[index], gain)
+            gains[index] = gain
+    return [float(gain) for gain in gains]
+
+
+def run_batch(
+    tasks: Sequence[TrialTask],
+    store: GraphStore,
+    executor: Optional[Executor] = None,
+    cache: Optional[CacheLike] = None,
+) -> List[float]:
+    """Execute a heterogeneous task batch through the cache.
+
+    The multi-graph counterpart of :func:`run_tasks`: every task resolves
+    its graph and labels from ``store`` by the keys it carries, so one call
+    can fan out an entire scenario — or several scenarios — at once.
+    """
+    executor = executor if executor is not None else SerialExecutor()
+    cache = cache if cache is not None else NullCache()
+    gains: List[Optional[float]] = [cache.get(task) for task in tasks]
+    missing = [index for index, gain in enumerate(gains) if gain is None]
+    if missing:
+        computed = executor.execute_batch([tasks[index] for index in missing], store)
         for index, gain in zip(missing, computed):
             cache.put(tasks[index], gain)
             gains[index] = gain

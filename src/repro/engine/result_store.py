@@ -1,0 +1,202 @@
+"""Sharded, append-only result store with legacy per-task read-through.
+
+The original :class:`~repro.engine.cache.ResultCache` wrote one tiny JSON
+file per task.  At scenario scale that layout is dominated by filesystem
+metadata: thousands of ``open``/``rename`` pairs, one inode each, and a
+directory entry per trial.  :class:`ShardedResultStore` replaces it with 256
+append-only shard files keyed by the first two hex digits of the task
+content hash — the same prefix the legacy layout used for its fan-out
+directories, so both generations share one cache root:
+
+* ``<root>/shard-<hh>.jsonl`` — one JSON line per result, appended with a
+  single ``write`` on an ``O_APPEND`` descriptor (atomic on POSIX), so
+  concurrent processes can append to the same shard without locks or torn
+  reads; duplicate hashes resolve last-writer-wins;
+* ``<root>/<hh>/<hash>.json`` — the legacy per-task layout, still **read**
+  transparently: a shard miss falls through to the legacy file, and a hit
+  there is migrated forward by appending it to the shard, so old caches
+  keep answering without a recompute and converge to the new layout.
+
+Entries store the full task identity next to the gain, exactly like the
+legacy cache: a version bump, an identity mismatch (hash collision) or a
+torn trailing line all degrade to a miss, never to a wrong result.
+:data:`~repro.engine.cache.CACHE_VERSION` is shared with the legacy cache —
+task identities did not change, so neither did the stamp.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Set, Union
+
+from repro.engine.cache import CACHE_VERSION, default_cache_dir
+from repro.engine.tasks import TrialTask, identity_payload
+
+#: Hex digits of the content hash selecting a shard (256 shards).
+SHARD_PREFIX_LEN = 2
+
+
+class ShardedResultStore:
+    """Task-hash-keyed persistent gain store over append-only shards.
+
+    Parameters
+    ----------
+    root:
+        Cache directory, shared with (and layered over) any legacy per-task
+        cache already there.  Defaults to
+        :func:`repro.engine.cache.default_cache_dir`.
+
+    Shard indexes are loaded lazily, one file parse per touched prefix, and
+    kept in memory for the store's lifetime; ``put`` updates both the file
+    and the index.  Writers in other processes are picked up by a fresh
+    store instance (or :meth:`refresh`).
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self._index: Dict[str, Dict[str, dict]] = {}
+        self._loaded: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+    def shard_path(self, prefix: str) -> Path:
+        """Where one shard's append-only file lives."""
+        return self.root / f"shard-{prefix}.jsonl"
+
+    def _legacy_path(self, digest: str) -> Path:
+        """Where the pre-shard layout kept this task's entry."""
+        return self.root / digest[:SHARD_PREFIX_LEN] / f"{digest}.json"
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def get(self, task: TrialTask) -> Optional[float]:
+        """The stored gain for ``task``, or None on any kind of miss."""
+        digest = task.content_hash()
+        prefix = digest[:SHARD_PREFIX_LEN]
+        self._load_shard(prefix)
+        entry = self._index.get(prefix, {}).get(digest)
+        if entry is None:
+            entry = self._read_legacy(task, digest)
+        if entry is None or not self._valid(entry, task):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return float(entry["gain"])
+
+    def _valid(self, entry: dict, task: TrialTask) -> bool:
+        return (
+            entry.get("cache_version") == CACHE_VERSION
+            and entry.get("task") == identity_payload(task)
+        )
+
+    def _read_legacy(self, task: TrialTask, digest: str) -> Optional[dict]:
+        """Read-through of the legacy per-task file, migrating on a hit."""
+        try:
+            with open(self._legacy_path(digest), "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not self._valid(entry, task):
+            return None
+        # Migrate forward (legacy entries carry no hash field): next time
+        # this prefix loads, the shard answers.  Migration is best-effort —
+        # a read-only or full cache root must degrade to answering from the
+        # legacy file, never fail the read.
+        entry = {**entry, "hash": digest}
+        try:
+            self._append(digest, entry)
+        except OSError:
+            self._index.setdefault(digest[:SHARD_PREFIX_LEN], {})[digest] = entry
+        return entry
+
+    def _load_shard(self, prefix: str) -> None:
+        if prefix in self._loaded:
+            return
+        self._loaded.add(prefix)
+        index = self._index.setdefault(prefix, {})
+        try:
+            with open(self.shard_path(prefix), "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue  # torn/partial line: skip, never poison reads
+                    digest = entry.get("hash")
+                    if isinstance(digest, str):
+                        index[digest] = entry  # duplicates: last writer wins
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def put(self, task: TrialTask, gain: float) -> None:
+        """Append ``gain`` for ``task`` to its shard (atomic single write)."""
+        digest = task.content_hash()
+        entry = {
+            "cache_version": CACHE_VERSION,
+            "hash": digest,
+            "task": identity_payload(task),
+            "gain": float(gain),
+        }
+        self._append(digest, entry)
+
+    def _append(self, digest: str, entry: dict) -> None:
+        prefix = digest[:SHARD_PREFIX_LEN]
+        path = self.shard_path(prefix)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(entry, sort_keys=True, separators=(",", ":")) + "\n"
+        # One write() on an O_APPEND descriptor: concurrent appenders from
+        # separate processes interleave whole lines, never fragments.
+        descriptor = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(descriptor, line.encode("utf-8"))
+        finally:
+            os.close(descriptor)
+        self._index.setdefault(prefix, {})[digest] = entry
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def refresh(self) -> None:
+        """Forget loaded indexes so other processes' appends become visible."""
+        self._index.clear()
+        self._loaded.clear()
+
+    def clear(self) -> int:
+        """Delete every entry — shards and legacy files; returns entry count.
+
+        Counts distinct stored results (same semantics as ``len``), not raw
+        shard lines — duplicate appends and torn lines are not entries.
+        """
+        removed = len(self)
+        if self.root.is_dir():
+            for shard in self.root.glob("shard-*.jsonl"):
+                shard.unlink()
+            for entry in self.root.glob("[0-9a-f][0-9a-f]/*.json"):
+                entry.unlink()
+        self.refresh()
+        return removed
+
+    def __len__(self) -> int:
+        """Distinct stored results (shards plus unmigrated legacy entries)."""
+        if not self.root.is_dir():
+            return 0
+        digests = set()
+        for shard in self.root.glob("shard-*.jsonl"):
+            prefix = shard.stem[len("shard-"):]
+            self._load_shard(prefix)
+        for index in self._index.values():
+            digests.update(index)
+        for entry in self.root.glob("[0-9a-f][0-9a-f]/*.json"):
+            digests.add(entry.stem)
+        return len(digests)

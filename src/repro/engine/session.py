@@ -1,0 +1,180 @@
+"""The persistent execution session: one pool, one graph store, one cache.
+
+Before this module, every ``run_tasks`` call was an island: it received one
+graph, spun up (and tore down) its own process pool, and shipped the graph
+to every worker by pickle.  A multi-panel scenario therefore paid pool
+startup and graph serialisation once *per panel*, and panels serialised
+against each other even at ``--jobs N``.
+
+:class:`EngineSession` hoists all of that to session scope:
+
+* a :class:`~repro.engine.graph_store.GraphStore` holds every registered
+  graph/labelling, exported **once** into shared memory, attached zero-copy
+  by workers;
+* one :class:`~concurrent.futures.ProcessPoolExecutor` persists across
+  :meth:`run` calls (created lazily on the first batch big enough to fan
+  out);
+* one cache — the sharded result store by default — fronts every batch.
+
+Batches are heterogeneous: tasks from different figures, panels and
+datasets execute in a single fan-out, resolved to their graphs by the
+``graph_key``/``labels_key`` they carry.  Because tasks are self-seeded,
+results stay bit-identical to per-panel serial execution — the session only
+changes wall-clock time.
+
+Usage::
+
+    with EngineSession(jobs=8) as session:
+        session.add_graph(facebook_graph)
+        session.add_graph(enron_graph, labels=enron_labels)
+        gains = session.run(tasks)            # any mix of graphs
+        more = session.run(other_tasks)       # same pool, same segments
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor as _ProcessPool
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.cache import NullCache
+from repro.engine.executors import (
+    CacheLike,
+    ParallelExecutor,
+    SerialExecutor,
+    cache_for,
+    run_batch,
+)
+from repro.engine.graph_store import GraphStore
+from repro.engine.tasks import TrialTask
+from repro.graph.adjacency import Graph
+
+
+class EngineSession:
+    """Shared execution state for any number of task batches.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``1`` executes in-process (no pool is ever
+        created).  The pool, once created, persists until :meth:`close`.
+    cache:
+        Result cache fronting every batch; defaults to no caching.  Pass
+        :class:`~repro.engine.result_store.ShardedResultStore` (or use
+        :meth:`from_config` with ``config.cache=True``) for persistence.
+    """
+
+    def __init__(self, jobs: int = 1, cache: Optional[CacheLike] = None):
+        if jobs < 1:
+            raise ValueError(f"jobs must be at least 1, got {jobs}")
+        self.jobs = int(jobs)
+        self.cache: CacheLike = cache if cache is not None else NullCache()
+        self.graphs = GraphStore()
+        self._pool: Optional[_ProcessPool] = None
+        self._closed = False
+
+    @classmethod
+    def from_config(cls, config, cache: Optional[CacheLike] = None) -> "EngineSession":
+        """A session sized by ``config.jobs`` with ``config.cache`` semantics."""
+        return cls(
+            jobs=getattr(config, "jobs", 1),
+            cache=cache if cache is not None else cache_for(config),
+        )
+
+    # ------------------------------------------------------------------
+    # Graph registration
+    # ------------------------------------------------------------------
+    def add_graph(
+        self, graph: Graph, labels: Optional[np.ndarray] = None
+    ) -> Tuple[str, str]:
+        """Register a graph (and optional labels); returns their task keys.
+
+        Idempotent by content: re-registering a graph another scenario
+        already added reuses its entry and shared-memory segment.
+        """
+        return self.graphs.add(graph, labels)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self, tasks: Sequence[TrialTask], cache: Optional[CacheLike] = None
+    ) -> List[float]:
+        """Gains of a (possibly multi-graph) batch, in input order.
+
+        Cache hits short-circuit; misses fan out over the persistent pool
+        (or run in-process for ``jobs=1`` / sub-threshold batches).  Every
+        graph a task references must have been registered via
+        :meth:`add_graph`.  ``cache`` overrides the session cache for this
+        batch only (the golden harness replays with caching forced off).
+        """
+        self._check_open()
+        cache = cache if cache is not None else self.cache
+        return run_batch(tasks, self.graphs, executor=self._executor(), cache=cache)
+
+    def _executor(self):
+        if self.jobs == 1:
+            return SerialExecutor()
+        # The pool is created by the factory only when a batch actually fans
+        # out: empty, cache-warm and sub-threshold runs never fork a worker.
+        return ParallelExecutor(jobs=self.jobs, pool_factory=self._ensure_pool)
+
+    def _ensure_pool(self) -> _ProcessPool:
+        if self._pool is None:
+            self._pool = _ProcessPool(max_workers=self.jobs)
+        return self._pool
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the pool down, then unlink every shared segment.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+        self.graphs.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("EngineSession is closed")
+
+    def __enter__(self) -> "EngineSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+@contextmanager
+def session_scope(
+    config, session: Optional[EngineSession] = None, cache: Optional[CacheLike] = None
+) -> Iterator[Tuple[EngineSession, Optional[CacheLike]]]:
+    """Yield ``(session, batch_cache)`` for one caller-facing run.
+
+    A provided ``session`` is borrowed untouched — ``cache`` is handed back
+    as a per-batch override for :meth:`EngineSession.run`.  Otherwise an
+    ephemeral session is created from ``config`` with ``cache`` installed
+    as its default (so the override slot comes back None) and closed when
+    the block exits.  This is the single definition of the session
+    acquisition dance every entry point (scenario runs, sweep runner)
+    shares.
+    """
+    if session is not None:
+        yield session, cache
+        return
+    session = EngineSession.from_config(config, cache=cache)
+    try:
+        yield session, None
+    finally:
+        session.close()

@@ -84,6 +84,18 @@ def labels_fingerprint(labels) -> str:
     return digest.hexdigest()[:16]
 
 
+def identity_payload(task: "TrialTask") -> dict:
+    """A task's identity fields as stored/compared on disk (tuples -> lists).
+
+    The single definition both cache generations validate entries against —
+    the legacy per-task cache and the sharded store must agree byte for
+    byte, or legacy read-through would silently degrade to misses.
+    """
+    payload = dict(task.identity())
+    payload["defense_args"] = [list(pair) for pair in task.defense_args]
+    return payload
+
+
 @dataclass(frozen=True)
 class TrialTask:
     """One attack-gain measurement, fully described by values.
@@ -140,9 +152,9 @@ class TrialTask:
 
     def content_hash(self) -> str:
         """Stable SHA-256 hash of the identity fields (the cache key)."""
-        payload = self.identity()
-        payload["defense_args"] = [list(pair) for pair in self.defense_args]
-        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        canonical = json.dumps(
+            identity_payload(self), sort_keys=True, separators=(",", ":")
+        )
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     def __post_init__(self):

@@ -34,7 +34,7 @@ from repro.experiments.config import DATASET_NAMES, ExperimentConfig
 from repro.experiments.reporting import format_table
 from repro.scenarios import golden as golden_store
 from repro.scenarios.registry import SCENARIOS, get_scenario, scenario_names
-from repro.scenarios.run import run_scenario
+from repro.scenarios.run import run_scenario, run_scenarios
 
 #: Figure drivers that take (dataset, config).
 _PER_DATASET: Dict[str, Callable] = {
@@ -84,7 +84,8 @@ def _add_run_options(parser: argparse.ArgumentParser, dataset_default: Optional[
     parser.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes for trial execution (results are identical "
-        "for any value; >1 uses a process pool)",
+        "for any value; >1 fans the whole batch out over one persistent "
+        "process pool with graphs in shared memory)",
     )
     parser.add_argument(
         "--no-cache", action="store_true",
@@ -120,12 +121,18 @@ def _add_scenario_commands(subparsers) -> None:
 
     runner = actions.add_parser(
         "run",
-        help="run one scenario end to end and print its tables",
-        description="Compile a registered scenario into an engine task "
+        help="run one or more scenarios end to end and print their tables",
+        description="Compile registered scenarios into ONE engine task "
         "batch, execute it (optionally parallel/cached) and print one table "
-        "per panel.",
+        "per panel.  Several names share a single execution session: every "
+        "distinct dataset surrogate is loaded and shared-memory-exported "
+        "once, and all trials fan out over one persistent worker pool.",
     )
-    runner.add_argument("name", help="registered scenario name (see 'scenario list')")
+    runner.add_argument(
+        "names", nargs="+", metavar="name",
+        help="registered scenario name(s) (see 'scenario list'); multiple "
+        "names run as one batched fan-out",
+    )
     _add_run_options(runner, dataset_default=None)
 
     recorder = actions.add_parser(
@@ -227,9 +234,15 @@ def _scenario_list(args, out) -> int:
 
 
 def _scenario_run(args, out) -> int:
-    spec = get_scenario(args.name, dataset=args.dataset or "")
-    result = run_scenario(spec, _config_from(args))
-    print(result.format(), file=out)
+    specs = [get_scenario(name, dataset=args.dataset or "") for name in args.names]
+    if len(specs) == 1:
+        print(run_scenario(specs[0], _config_from(args)).format(), file=out)
+        return 0
+    results = run_scenarios(specs, _config_from(args))
+    blocks = [
+        f"=== {name} ===\n{result.format()}" for name, result in results.items()
+    ]
+    print("\n\n".join(blocks), file=out)
     return 0
 
 

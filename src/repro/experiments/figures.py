@@ -32,7 +32,36 @@ __all__ = [
     "table2_rows",
     "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
     "fig12a", "fig12b", "fig13a", "fig13b", "fig14", "fig15",
+    "run_all",
 ]
+
+#: Every figure scenario, in paper order (table2 is a stats scenario and
+#: carries no tasks, so it is not part of the batched fan-out).
+FIGURE_SCENARIOS = (
+    "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "fig12a", "fig12b", "fig13a", "fig13b", "fig14", "fig15",
+)
+
+
+def run_all(
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    dataset: str = "",
+    names: Sequence[str] = FIGURE_SCENARIOS,
+):
+    """Regenerate several figures as one heterogeneous engine batch.
+
+    The session-backed counterpart of calling the per-figure drivers in a
+    loop: every scenario compiles up front, distinct dataset surrogates are
+    loaded and shared-memory-exported once, and all trials fan out over one
+    persistent worker pool (``config.jobs``).  ``dataset`` retargets every
+    scenario that supports it; empty keeps each scenario's own default.
+    Returns an ordered ``{name: ScenarioResult}`` mapping, bit-identical to
+    the individual drivers.
+    """
+    from repro.scenarios import get_scenario, run_scenarios
+
+    specs = [get_scenario(name, dataset=dataset) for name in names]
+    return run_scenarios(specs, config)
 
 
 def community_labels(graph):

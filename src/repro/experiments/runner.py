@@ -30,9 +30,9 @@ from repro.engine.executors import (
     Executor,
     cache_for,
     execute_task,
-    executor_for,
     run_tasks,
 )
+from repro.engine.session import EngineSession, session_scope
 from repro.engine.registry import ATTACKS, PROTOCOLS
 from repro.engine.tasks import (
     TrialTask,
@@ -198,6 +198,7 @@ def run_attack_sweep(
     figure: str = "",
     executor: Optional[Executor] = None,
     cache: Optional[CacheLike] = None,
+    session: Optional[EngineSession] = None,
 ) -> SweepResult:
     """Run one figure's sweep through the engine and return the gain curves.
 
@@ -212,11 +213,14 @@ def run_attack_sweep(
         Called with the (possibly swept) epsilon; lets Exp 9 swap in LDPGen.
     labels:
         Community labels, required when ``metric == "modularity"``.
-    executor / cache:
-        Engine backends; default to what ``config.jobs`` / ``config.cache``
-        imply.  Components not present in the engine registries fall back to
-        in-process serial execution without caching (same seeds, same
-        results).
+    executor / cache / session:
+        Execution backends.  The default runs the batch through an
+        :class:`~repro.engine.session.EngineSession` sized by
+        ``config.jobs`` with ``config.cache`` semantics (ephemeral, or the
+        given ``session`` to share a pool/graph store across sweeps);
+        passing ``executor`` drives the batch directly instead.  Components
+        not present in the engine registries fall back to in-process serial
+        execution without caching (same seeds, same results).
     """
     if parameter not in SWEEPABLE:
         raise ValueError(f"parameter must be one of {SWEEPABLE}, got {parameter!r}")
@@ -237,9 +241,13 @@ def run_attack_sweep(
         figure=figure,
     )
     if registered:
-        executor = executor if executor is not None else executor_for(config)
-        cache = cache if cache is not None else cache_for(config)
-        gains = run_tasks(tasks, graph, labels=labels, executor=executor, cache=cache)
+        if executor is not None:
+            cache = cache if cache is not None else cache_for(config)
+            gains = run_tasks(tasks, graph, labels=labels, executor=executor, cache=cache)
+        else:
+            with session_scope(config, session, cache) as (live_session, batch_cache):
+                live_session.add_graph(graph, labels)
+                gains = live_session.run(tasks, cache=batch_cache)
     else:
         factories = dict(attacks)
         gains = [

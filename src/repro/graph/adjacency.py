@@ -17,6 +17,7 @@ keeps before/after attack comparisons safe by construction.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence, Tuple
 
 import numpy as np
@@ -24,6 +25,44 @@ import scipy.sparse as sp
 
 from repro.utils.sparse import decode_pairs, encode_pairs, pair_count
 from repro.utils.validation import check_non_negative
+
+
+@dataclass(frozen=True)
+class SharedGraphHandle:
+    """Picklable reference to a graph exported into shared memory.
+
+    Only the segment *name* and the array geometry travel to workers; the
+    edge codes themselves stay in the POSIX shared-memory segment, which
+    every process maps zero-copy.  Lifecycle contract: the exporting process
+    creates the segment (:meth:`Graph.to_shared`), workers attach
+    (:meth:`Graph.attach_shared`), and the exporter — never an attacher —
+    eventually unlinks it (:class:`repro.engine.graph_store.GraphStore`
+    does this in ``close``).
+    """
+
+    shm_name: str
+    num_nodes: int
+    num_edges: int
+
+
+def attach_shared_memory(name: str):
+    """Attach an existing shared-memory segment without adopting ownership.
+
+    On CPython 3.13+ ``track=False`` keeps the attach out of the resource
+    tracker entirely.  Earlier versions register unconditionally; that is
+    harmless here because pool workers are forked *after* the exporting
+    process's first registration, so they share its tracker and the
+    duplicate registration dedupes — the segment is still unlinked exactly
+    once, by the exporter (:class:`repro.engine.graph_store.GraphStore`
+    calls ``resource_tracker.ensure_running()`` up front to pin that fork
+    ordering).
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        return shared_memory.SharedMemory(name=name)
 
 
 class Graph:
@@ -206,6 +245,60 @@ class Graph:
         row = np.zeros(self._num_nodes, dtype=np.uint8)
         row[self.neighbors(node)] = 1
         return row
+
+    # ------------------------------------------------------------------
+    # Shared-memory export / attach
+    # ------------------------------------------------------------------
+    def to_shared(self) -> Tuple[SharedGraphHandle, "object"]:
+        """Export this graph's edge codes into a POSIX shared-memory segment.
+
+        Returns ``(handle, segment)``: the handle is a tiny picklable value
+        that travels to worker processes; the segment is the live
+        :class:`multiprocessing.shared_memory.SharedMemory` the *caller now
+        owns* — it must keep it alive while any worker may attach and call
+        ``unlink()`` exactly once when the graph is retired (create →
+        attach → unlink).  Workers reconstruct the graph zero-copy with
+        :meth:`attach_shared` instead of unpickling an edge-array copy.
+        """
+        from multiprocessing import shared_memory
+
+        nbytes = max(1, self._codes.nbytes)  # zero-size segments are invalid
+        segment = shared_memory.SharedMemory(create=True, size=nbytes)
+        if self._codes.size:
+            target = np.ndarray(
+                self._codes.shape, dtype=np.int64, buffer=segment.buf
+            )
+            target[:] = self._codes
+        handle = SharedGraphHandle(
+            shm_name=segment.name,
+            num_nodes=self._num_nodes,
+            num_edges=int(self._codes.size),
+        )
+        return handle, segment
+
+    @classmethod
+    def attach_shared(cls, handle: SharedGraphHandle) -> Tuple["Graph", "object"]:
+        """Map a graph exported by :meth:`to_shared`, without copying.
+
+        Returns ``(graph, segment)``.  The graph's edge codes are a
+        read-only view straight into the shared segment; the caller must
+        keep ``segment`` referenced for as long as the graph is used (the
+        worker-side attach cache in :mod:`repro.engine.executors` does) and
+        must close — never unlink — it when done.
+        """
+        segment = attach_shared_memory(handle.shm_name)
+        if handle.num_edges:
+            codes = np.frombuffer(
+                segment.buf, dtype=np.int64, count=handle.num_edges
+            )
+            codes.flags.writeable = False
+        else:
+            codes = np.empty(0, dtype=np.int64)  # no pointer into the segment
+        graph = cls.__new__(cls)
+        graph._num_nodes = int(handle.num_nodes)
+        graph._codes = codes
+        graph._indptr = graph._indices = graph._degrees = None
+        return graph, segment
 
     def csr(self) -> sp.csr_matrix:
         """Symmetric adjacency matrix in CSR form (0/1, int8)."""

@@ -23,7 +23,7 @@ Quickstart::
     print(result.sweep().format())
 """
 
-from repro.scenarios.compiler import compile_scenario
+from repro.scenarios.compiler import compile_panels, compile_scenario
 from repro.scenarios.golden import (
     GOLDEN_CONFIG,
     check_golden,
@@ -43,6 +43,7 @@ from repro.scenarios.run import (
     community_labels,
     prepare_scenario,
     run_scenario,
+    run_scenarios,
 )
 from repro.scenarios.spec import PanelSpec, ScenarioSpec, SeriesSpec
 
@@ -58,6 +59,7 @@ __all__ = [
     "SeriesSpec",
     "check_golden",
     "community_labels",
+    "compile_panels",
     "compile_scenario",
     "default_golden_dir",
     "get_scenario",
@@ -67,5 +69,6 @@ __all__ = [
     "record_golden",
     "register_scenario",
     "run_scenario",
+    "run_scenarios",
     "scenario_names",
 ]

@@ -271,6 +271,33 @@ PROTOCOL_DUEL_MGA = register_scenario(
     )
 )
 
+#: One panel per dataset surrogate: the degree-attack trio measured on
+#: facebook, enron and astroph in a single heterogeneous engine batch.
+#: This is the canonical multi-graph workload — each panel's tasks carry a
+#: different ``graph_key``, so a session fans the whole scenario out over
+#: one persistent pool with every graph shared-memory-exported once
+#: (gplus is left out to keep the golden replay laptop-fast).
+CROSS_DATASET_MGA = register_scenario(
+    ScenarioSpec(
+        name="xprod/cross-dataset-mga",
+        description="Degree-attack trio across three dataset surrogates in one batch",
+        metric="degree_centrality",
+        parameter="epsilon",
+        values=(2.0, 4.0, 8.0),
+        panels=tuple(
+            PanelSpec(
+                figure=f"XDataset-{dataset}",
+                name=dataset,
+                dataset=dataset,
+                series=DEGREE_SERIES,
+            )
+            for dataset in ("facebook", "enron", "astroph")
+        ),
+        paper=False,
+        tags=("datasets",),
+    )
+)
+
 DEFENSE_MATRIX_MGA = register_scenario(
     ScenarioSpec(
         name="xprod/defense-matrix-mga",

@@ -30,7 +30,7 @@ task builders.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Mapping, Optional
 
 import numpy as np
 
@@ -149,15 +149,57 @@ def compile_scenario(
     Flat reference series contribute ``config.trials`` tasks total (measured
     once, replicated across the grid at aggregation time), exactly as the
     historical Figs. 12-13 drivers batched them.
+
+    Single-graph convenience over :func:`compile_panels`: every panel runs
+    on ``graph``.  Scenarios whose panels pin their own datasets need one
+    graph per panel — prepare them with
+    :func:`repro.scenarios.run.prepare_scenario` instead.
     """
     if spec.kind != "sweep":
         raise ValueError(f"scenario {spec.name!r} ({spec.kind}) compiles to no tasks")
-    if spec.metric == "modularity" and labels is None:
-        raise ValueError(f"scenario {spec.name!r} needs community labels (modularity)")
-    graph_key = graph_fingerprint(graph)
-    labels_key = labels_fingerprint(labels)
+    pinned = {
+        panel.dataset for panel in spec.panels if panel.dataset
+    } - {spec.dataset}
+    if pinned:
+        raise ValueError(
+            f"scenario {spec.name!r} pins per-panel datasets {sorted(pinned)}; "
+            "compile it with per-panel graphs (compile_panels / prepare_scenario)"
+        )
+    return compile_panels(
+        spec,
+        config,
+        graphs={panel.key: graph for panel in spec.panels},
+        labels={panel.key: labels for panel in spec.panels},
+    )
+
+
+def compile_panels(
+    spec: ScenarioSpec,
+    config: ExperimentConfig,
+    graphs: Mapping[str, Graph],
+    labels: Mapping[str, Optional[np.ndarray]],
+) -> List[TrialTask]:
+    """Compile ``spec`` with one graph (and labelling) per panel key.
+
+    The heterogeneous-batch entry point: each panel's tasks carry the
+    fingerprint of *that panel's* graph, so panels pinned to different
+    dataset surrogates lower into a single engine batch that a session can
+    fan out in one go.  Seed keys are untouched — they never encoded the
+    graph, only the figure/series coordinates — so single-dataset scenarios
+    compile bit-identically to the historical single-graph path.
+    """
+    if spec.kind != "sweep":
+        raise ValueError(f"scenario {spec.name!r} ({spec.kind}) compiles to no tasks")
     tasks: List[TrialTask] = []
     for panel in spec.panels:
+        graph = graphs[panel.key]
+        panel_labels = labels.get(panel.key)
+        if spec.metric == "modularity" and panel_labels is None:
+            raise ValueError(
+                f"scenario {spec.name!r} needs community labels (modularity)"
+            )
+        graph_key = graph_fingerprint(graph)
+        labels_key = labels_fingerprint(panel_labels)
         for series in panel.series:
             tasks.extend(
                 _series_tasks(spec, panel, series, graph_key, labels_key, config)

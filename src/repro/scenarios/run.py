@@ -1,34 +1,42 @@
-"""Running a scenario end to end: load, compile, execute, aggregate.
+"""Running scenarios end to end: load, compile, execute, aggregate.
 
 :func:`run_scenario` is the single entry point every consumer shares — the
 figure drivers in :mod:`repro.experiments.figures`, the ``scenario`` CLI
-subcommands, the golden-result harness and the benchmarks.  All panels of a
-scenario are flattened into **one** engine batch, so a multi-panel figure
-(Fig. 14's LF-GDPR and LDPGen panels) parallelises across panels instead of
-running them back to back.
+subcommands, the golden-result harness and the benchmarks.  Execution goes
+through an :class:`~repro.engine.session.EngineSession`: all panels of a
+scenario — including panels pinned to *different* dataset surrogates —
+flatten into **one** heterogeneous engine batch resolved against the
+session's shared-memory graph store.
+
+:func:`run_scenarios` goes one level further: it compiles any number of
+scenarios into a single batch over one session, so a whole evaluation
+suite shares one persistent worker pool and ships every distinct graph
+exactly once.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.engine.executors import CacheLike, Executor, cache_for, executor_for, run_tasks
+from repro.engine.executors import CacheLike, Executor, cache_for, run_batch
+from repro.engine.graph_store import GraphStore
+from repro.engine.session import EngineSession, session_scope
 from repro.engine.tasks import TrialTask
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import SweepResult
 from repro.graph.adjacency import Graph
 from repro.graph.datasets import DATASETS, load_dataset
-from repro.scenarios.compiler import FLAT_VALUE, compile_scenario
+from repro.scenarios.compiler import FLAT_VALUE, compile_panels
 from repro.scenarios.spec import SWEEP_FLAT, ScenarioSpec
 
 
 def load_scenario_graph(spec: ScenarioSpec, config: ExperimentConfig) -> Graph:
-    """The dataset surrogate a scenario runs on (same loading as the figures)."""
+    """The default dataset surrogate a scenario runs on (panel pins aside)."""
     return load_dataset(spec.dataset, scale=config.scale, rng=config.seed)
 
 
@@ -95,49 +103,49 @@ def _dataset_stats(spec: ScenarioSpec, config: ExperimentConfig) -> List[Tuple]:
     return rows
 
 
-#: A compiled sweep scenario ready to execute: (graph, labels, task batch).
-PreparedScenario = Tuple[Graph, Optional["np.ndarray"], List["TrialTask"]]
+class PreparedScenario(NamedTuple):
+    """A compiled sweep scenario ready to execute.
+
+    ``graphs``/``labels`` are keyed by panel key (single-dataset scenarios
+    map every panel to the same graph object); ``tasks`` is the flat engine
+    batch.  Unpacks as the historical ``(graphs, labels, tasks)`` triple —
+    the golden store only touches ``tasks``.
+    """
+
+    graphs: "OrderedDict[str, Graph]"
+    labels: "OrderedDict[str, Optional[np.ndarray]]"
+    tasks: List[TrialTask]
 
 
 def prepare_scenario(spec: ScenarioSpec, config: ExperimentConfig) -> PreparedScenario:
-    """Load the graph, derive labels if needed, and compile the task batch.
+    """Load every panel's graph, derive labels if needed, compile the batch.
 
     Exposed so callers that need the compiled batch *and* the run (the
     golden store hashes task identities) prepare once instead of twice —
     dataset loading and greedy-modularity labelling are the expensive parts.
+    Distinct panels sharing a dataset share one graph load and labelling.
     """
-    graph = load_scenario_graph(spec, config)
-    labels = community_labels(graph) if spec.metric == "modularity" else None
-    return graph, labels, compile_scenario(spec, graph, config, labels=labels)
+    graphs: "OrderedDict[str, Graph]" = OrderedDict()
+    labels: "OrderedDict[str, Optional[np.ndarray]]" = OrderedDict()
+    by_dataset: Dict[str, Graph] = {}
+    labels_by_dataset: Dict[str, np.ndarray] = {}
+    for panel in spec.panels:
+        dataset = panel.dataset_or(spec.dataset)
+        if dataset not in by_dataset:
+            by_dataset[dataset] = load_dataset(
+                dataset, scale=config.scale, rng=config.seed
+            )
+            if spec.metric == "modularity":
+                labels_by_dataset[dataset] = community_labels(by_dataset[dataset])
+        graphs[panel.key] = by_dataset[dataset]
+        labels[panel.key] = labels_by_dataset.get(dataset)
+    return PreparedScenario(graphs, labels, compile_panels(spec, config, graphs, labels))
 
 
-def run_scenario(
-    spec: ScenarioSpec,
-    config: ExperimentConfig = DEFAULT_CONFIG,
-    executor: Optional[Executor] = None,
-    cache: Optional[CacheLike] = None,
-    prepared: Optional[PreparedScenario] = None,
+def _aggregate(
+    spec: ScenarioSpec, tasks: Sequence[TrialTask], gains: Sequence[float]
 ) -> ScenarioResult:
-    """Execute ``spec`` through the engine and aggregate its result curves.
-
-    ``executor`` / ``cache`` default to what ``config.jobs`` / ``config.cache``
-    imply; results are bit-identical for any executor, worker count or cache
-    state because every compiled task derives its own seed.  ``prepared``
-    (from :func:`prepare_scenario` with the same spec and config) skips the
-    load/compile step.
-    """
-    if spec.kind == "stats":
-        return ScenarioResult(spec=spec, table=_dataset_stats(spec, config))
-
-    graph, labels, tasks = prepared if prepared is not None else prepare_scenario(spec, config)
-    gains = run_tasks(
-        tasks,
-        graph,
-        labels=labels,
-        executor=executor if executor is not None else executor_for(config),
-        cache=cache if cache is not None else cache_for(config),
-    )
-
+    """Fold a batch's per-task gains back into per-panel sweep curves."""
     by_point: Dict[Tuple[str, str, float], List[float]] = {}
     for task, gain in zip(tasks, gains):
         by_point.setdefault((task.figure, task.series, task.value), []).append(gain)
@@ -146,7 +154,7 @@ def run_scenario(
     for panel in spec.panels:
         sweep = SweepResult(
             figure=panel.figure,
-            dataset=spec.dataset,
+            dataset=panel.dataset_or(spec.dataset),
             metric=spec.metric,
             parameter=spec.parameter,
             values=list(spec.values),
@@ -157,3 +165,94 @@ def run_scenario(
                 sweep.add_point(series.name, by_point[(panel.figure, series.name, point)])
         result.panels[panel.key] = sweep
     return result
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    executor: Optional[Executor] = None,
+    cache: Optional[CacheLike] = None,
+    prepared: Optional[PreparedScenario] = None,
+    session: Optional[EngineSession] = None,
+) -> ScenarioResult:
+    """Execute ``spec`` through the engine and aggregate its result curves.
+
+    By default the batch runs in an (ephemeral) engine session sized by
+    ``config.jobs`` with ``config.cache`` semantics; pass ``session`` to
+    share one pool, graph store and cache across many runs.  ``cache``
+    overrides the cache either way; ``executor`` bypasses the session and
+    drives the batch directly (test instrumentation).  Results are
+    bit-identical for any executor, session, worker count or cache state
+    because every compiled task derives its own seed.  ``prepared`` (from
+    :func:`prepare_scenario` with the same spec and config) skips the
+    load/compile step.
+    """
+    if spec.kind == "stats":
+        return ScenarioResult(spec=spec, table=_dataset_stats(spec, config))
+
+    graphs, labels, tasks = prepared if prepared is not None else prepare_scenario(spec, config)
+
+    if executor is not None:
+        with GraphStore() as store:
+            for key, graph in graphs.items():
+                store.add(graph, labels.get(key))
+            gains = run_batch(
+                tasks, store, executor=executor,
+                cache=cache if cache is not None else cache_for(config),
+            )
+        return _aggregate(spec, tasks, gains)
+
+    with session_scope(config, session, cache) as (live_session, batch_cache):
+        for key, graph in graphs.items():
+            live_session.add_graph(graph, labels.get(key))
+        gains = live_session.run(tasks, cache=batch_cache)
+    return _aggregate(spec, tasks, gains)
+
+
+def run_scenarios(
+    specs: Sequence[ScenarioSpec],
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    session: Optional[EngineSession] = None,
+) -> "OrderedDict[str, ScenarioResult]":
+    """Execute several scenarios as **one** heterogeneous engine batch.
+
+    Every sweep scenario is compiled up front, every distinct graph is
+    registered (and shared-memory exported) once, and all tasks fan out in
+    a single :meth:`~repro.engine.session.EngineSession.run` — so panels
+    and scenarios parallelise against each other instead of running back to
+    back.  Results are keyed by scenario name, in input order, and are
+    bit-identical to running each scenario alone (tasks are self-seeded).
+    """
+    specs = list(specs)
+    names = [spec.name for spec in specs]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate scenario names in batch: {names}")
+
+    prepared: Dict[str, PreparedScenario] = {
+        spec.name: prepare_scenario(spec, config)
+        for spec in specs
+        if spec.kind == "sweep"
+    }
+    with session_scope(config, session) as (live_session, batch_cache):
+        batch: List[TrialTask] = []
+        for spec in specs:
+            if spec.kind != "sweep":
+                continue
+            graphs, labels, tasks = prepared[spec.name]
+            for key, graph in graphs.items():
+                live_session.add_graph(graph, labels.get(key))
+            batch.extend(tasks)
+        gains = live_session.run(batch, cache=batch_cache) if batch else []
+
+    results: "OrderedDict[str, ScenarioResult]" = OrderedDict()
+    offset = 0
+    for spec in specs:
+        if spec.kind == "stats":
+            results[spec.name] = ScenarioResult(
+                spec=spec, table=_dataset_stats(spec, config)
+            )
+            continue
+        tasks = prepared[spec.name].tasks
+        results[spec.name] = _aggregate(spec, tasks, gains[offset : offset + len(tasks)])
+        offset += len(tasks)
+    return results

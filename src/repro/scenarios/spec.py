@@ -102,16 +102,27 @@ class PanelSpec:
     ``figure`` is the label embedded in every task's seed-derivation key
     (and shown as the table title); panels of one scenario must use distinct
     labels so their series draw independent random streams.
+
+    ``dataset`` pins this panel to its own dataset surrogate; empty means
+    the scenario's dataset.  A scenario whose panels pin different datasets
+    compiles to one heterogeneous engine batch — every panel's tasks carry
+    their own ``graph_key`` and fan out together over the session's graph
+    store instead of running dataset by dataset.
     """
 
     figure: str
     series: Tuple[SeriesSpec, ...]
     name: str = ""  #: panel key in results; defaults to ``figure``.
+    dataset: str = ""  #: per-panel dataset override; '' -> scenario dataset.
 
     @property
     def key(self) -> str:
         """The key this panel's sweep is stored under in a result."""
         return self.name or self.figure
+
+    def dataset_or(self, default: str) -> str:
+        """This panel's dataset: its own pin, else the scenario default."""
+        return self.dataset or default
 
     def __post_init__(self):
         if not self.series:
@@ -205,7 +216,9 @@ class ScenarioSpec:
 
         For ``stats`` scenarios the tabulated dataset list narrows to the
         requested dataset, so ``scenario run table2 --dataset enron`` reports
-        that dataset instead of silently ignoring the override.
+        that dataset instead of silently ignoring the override.  Panels that
+        pin their own ``dataset`` keep it — the override moves only the
+        scenario default.
         """
         if dataset not in DATASETS:
             known = ", ".join(sorted(DATASETS))
@@ -238,6 +251,12 @@ class ScenarioSpec:
                 if dataset not in DATASETS:
                     raise KeyError(f"scenario {self.name!r}: unknown dataset {dataset!r}")
             return
+        for panel in self.panels:
+            if panel.dataset and panel.dataset not in DATASETS:
+                raise KeyError(
+                    f"scenario {self.name!r}: panel {panel.figure!r} pins "
+                    f"unknown dataset {panel.dataset!r}"
+                )
         for series in self.all_series():
             ATTACKS.get(series.attack)
             PROTOCOLS.get(series.protocol)

@@ -161,3 +161,29 @@ class TestExecuteTask:
             graph,
         )
         assert via_factories == via_registry
+
+
+class TestOutOfBandLabelsParity:
+    def test_parallel_applies_labels_to_every_task(self, graph):
+        """Out-of-band labels reach all tasks, whatever labels_key they carry.
+
+        SerialExecutor hands the given labels to every task; the shared-memory
+        fan-out must do the same even for tasks whose labels_key is empty, or
+        serial and parallel modularity gains would diverge.
+        """
+        import numpy as np
+
+        labels = (np.arange(graph.num_nodes) // 25).astype(np.int64)
+        tasks = [
+            TrialTask(
+                graph_key=graph_fingerprint(graph), metric="modularity",
+                attack="clustering/mga", protocol="lfgdpr",
+                epsilon=4.0, beta=0.05, gamma=0.05,
+                seed=derive_trial_seed(0, f"labels-parity|{trial}"),
+                labels_key="", trial=trial,
+            )
+            for trial in range(3)
+        ]
+        serial = SerialExecutor().execute(tasks, graph, labels)
+        parallel = ParallelExecutor(jobs=3).execute(tasks, graph, labels)
+        assert parallel == serial

@@ -1,0 +1,218 @@
+"""Tests for the sharded result store: migration, concurrency, validation.
+
+The store replaces the legacy one-JSON-file-per-task cache with 256
+append-only shards.  Pinned here:
+
+* **read-through migration** — a cache written by the legacy layout keeps
+  answering (no recompute) and converges to shards;
+* **concurrent appenders** — two processes appending to the same shard
+  files interleave whole lines, never fragments;
+* miss semantics — version bumps, identity mismatches and torn trailing
+  lines degrade to misses, never wrong results.
+"""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.engine.cache import CACHE_VERSION, NullCache, ResultCache
+from repro.engine.executors import SerialExecutor, run_batch, run_tasks
+from repro.engine.graph_store import GraphStore
+from repro.engine.result_store import ShardedResultStore
+from repro.engine.tasks import TrialTask, derive_trial_seed, graph_fingerprint
+from repro.graph.generators import powerlaw_cluster_graph
+
+
+class CountingExecutor(SerialExecutor):
+    def __init__(self):
+        self.executed = 0
+
+    def execute(self, tasks, graph, labels=None):
+        self.executed += len(tasks)
+        return super().execute(tasks, graph, labels)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_cluster_graph(100, 3, 0.4, rng=0)
+
+
+def make_tasks(graph, count, tag="store"):
+    graph_key = graph_fingerprint(graph)
+    return [
+        TrialTask(
+            graph_key=graph_key, metric="degree_centrality",
+            attack="degree/rva", protocol="lfgdpr",
+            epsilon=4.0, beta=0.05, gamma=0.05,
+            seed=derive_trial_seed(0, f"{tag}|{index}"), trial=index,
+        )
+        for index in range(count)
+    ]
+
+
+class TestLegacyReadThrough:
+    def test_legacy_entries_hit_without_recompute(self, graph, tmp_path):
+        """A cache seeded by the legacy layout answers through the store."""
+        tasks = make_tasks(graph, 6)
+        legacy = ResultCache(tmp_path)
+        gains = run_tasks(tasks, graph, executor=SerialExecutor(), cache=legacy)
+
+        store = ShardedResultStore(tmp_path)
+        executor = CountingExecutor()
+        replay = run_tasks(tasks, graph, executor=executor, cache=store)
+        assert executor.executed == 0, "legacy entries must not recompute"
+        assert store.hits == len(tasks) and store.misses == 0
+        assert replay == gains
+
+    def test_read_through_migrates_to_shards(self, graph, tmp_path):
+        """A legacy hit is appended to its shard; fresh stores use the shard."""
+        tasks = make_tasks(graph, 4)
+        legacy = ResultCache(tmp_path)
+        gains = run_tasks(tasks, graph, executor=SerialExecutor(), cache=legacy)
+
+        store = ShardedResultStore(tmp_path)
+        for task in tasks:
+            store.get(task)
+        assert list(tmp_path.glob("shard-*.jsonl")), "migration wrote no shards"
+
+        # Remove the legacy files: the shards alone must now answer.
+        for entry in tmp_path.glob("[0-9a-f][0-9a-f]/*.json"):
+            entry.unlink()
+        fresh = ShardedResultStore(tmp_path)
+        assert [fresh.get(task) for task in tasks] == gains
+        assert fresh.hits == len(tasks) and fresh.misses == 0
+
+    def test_heterogeneous_batch_round_trip(self, tmp_path):
+        """run_batch persists and replays a multi-graph batch."""
+        graph_a = powerlaw_cluster_graph(60, 3, 0.4, rng=0)
+        graph_b = powerlaw_cluster_graph(70, 3, 0.4, rng=1)
+        tasks = make_tasks(graph_a, 3, tag="a") + make_tasks(graph_b, 3, tag="b")
+        with GraphStore() as store:
+            store.add(graph_a)
+            store.add(graph_b)
+            cache = ShardedResultStore(tmp_path)
+            first = run_batch(tasks, store, cache=cache)
+            executor = CountingExecutor()
+            replay = run_batch(tasks, store, executor=executor, cache=ShardedResultStore(tmp_path))
+        assert executor.executed == 0
+        assert replay == first
+
+
+def _append_entries(root, start, count, barrier):
+    """Worker: append ``count`` results, synchronised to maximise overlap."""
+    graph = powerlaw_cluster_graph(100, 3, 0.4, rng=0)
+    store = ShardedResultStore(root)
+    tasks = make_tasks(graph, count, tag="concurrent")
+    barrier.wait()
+    for index, task in enumerate(tasks):
+        store.put(task, float(start + index))
+
+
+class TestConcurrentWriters:
+    def test_two_processes_append_to_same_shards(self, graph, tmp_path):
+        """Interleaved appends to one shard leave every line parseable."""
+        count = 40
+        context = multiprocessing.get_context("fork")
+        barrier = context.Barrier(2)
+        workers = [
+            context.Process(target=_append_entries, args=(tmp_path, 0, count, barrier))
+            for _ in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert all(worker.exitcode == 0 for worker in workers)
+
+        # Both processes wrote the identical task set, so every shard line —
+        # whatever the interleaving — must parse and carry a known hash.
+        tasks = make_tasks(graph, count, tag="concurrent")
+        expected_hashes = {task.content_hash() for task in tasks}
+        lines = 0
+        for shard in tmp_path.glob("shard-*.jsonl"):
+            for line in shard.read_text(encoding="utf-8").splitlines():
+                entry = json.loads(line)  # raises on a torn/fragmented line
+                assert entry["hash"] in expected_hashes
+                lines += 1
+        assert lines == 2 * count, "each process appends one line per task"
+
+        store = ShardedResultStore(tmp_path)
+        gains = [store.get(task) for task in tasks]
+        assert gains == [float(index) for index in range(count)]
+        assert store.hits == count
+
+
+class TestMissSemantics:
+    def test_version_bump_is_a_miss(self, graph, tmp_path):
+        task = make_tasks(graph, 1)[0]
+        store = ShardedResultStore(tmp_path)
+        digest = task.content_hash()
+        entry = {
+            "cache_version": CACHE_VERSION + 1,
+            "hash": digest,
+            "task": {},
+            "gain": 1.0,
+        }
+        store._append(digest, entry)
+        fresh = ShardedResultStore(tmp_path)
+        assert fresh.get(task) is None and fresh.misses == 1
+
+    def test_identity_mismatch_is_a_miss(self, graph, tmp_path):
+        """A colliding hash with a different identity never answers."""
+        task, other = make_tasks(graph, 2)
+        store = ShardedResultStore(tmp_path)
+        store.put(other, 3.0)
+        forged = dict(store._index[other.content_hash()[:2]][other.content_hash()])
+        forged["hash"] = task.content_hash()
+        store._append(task.content_hash(), forged)
+        fresh = ShardedResultStore(tmp_path)
+        assert fresh.get(task) is None
+
+    def test_torn_trailing_line_skipped(self, graph, tmp_path):
+        tasks = make_tasks(graph, 2)
+        store = ShardedResultStore(tmp_path)
+        store.put(tasks[0], 1.5)
+        shard = store.shard_path(tasks[0].content_hash()[:2])
+        with open(shard, "a", encoding="utf-8") as handle:
+            handle.write('{"cache_version": 1, "hash": "dead')  # torn write
+        fresh = ShardedResultStore(tmp_path)
+        assert fresh.get(tasks[0]) == 1.5
+
+    def test_unwritable_root_still_answers_from_legacy(self, graph, tmp_path, monkeypatch):
+        """Migration is best-effort: a failed shard append must not fail the read."""
+        task = make_tasks(graph, 1)[0]
+        ResultCache(tmp_path).put(task, 4.5)
+        store = ShardedResultStore(tmp_path)
+
+        def refuse(digest, entry):
+            raise PermissionError("read-only cache root")
+
+        monkeypatch.setattr(store, "_append", refuse)
+        assert store.get(task) == 4.5
+        assert store.get(task) == 4.5  # second read answers from the index
+
+    def test_put_then_get_same_instance(self, graph, tmp_path):
+        task = make_tasks(graph, 1)[0]
+        store = ShardedResultStore(tmp_path)
+        assert store.get(task) is None
+        store.put(task, 2.25)
+        assert store.get(task) == 2.25
+
+    def test_clear_and_len(self, graph, tmp_path):
+        tasks = make_tasks(graph, 3)
+        legacy = ResultCache(tmp_path)
+        legacy.put(tasks[0], 1.0)  # unmigrated legacy entry
+        store = ShardedResultStore(tmp_path)
+        store.put(tasks[1], 2.0)
+        store.put(tasks[2], 3.0)
+        assert len(ShardedResultStore(tmp_path)) == 3
+        assert ShardedResultStore(tmp_path).clear() == 3
+        assert len(ShardedResultStore(tmp_path)) == 0
+
+    def test_null_cache_protocol(self, graph):
+        task = make_tasks(graph, 1)[0]
+        cache = NullCache()
+        assert cache.get(task) is None
+        cache.put(task, 1.0)
+        assert cache.get(task) is None

@@ -1,0 +1,25 @@
+"""Tests for the figure-level facade, including the batched run_all."""
+
+from repro.experiments import figures
+from repro.experiments.config import ExperimentConfig
+
+TINY = ExperimentConfig(trials=1, scale=0.02, seed=0, cache=False)
+
+
+class TestRunAll:
+    def test_matches_individual_drivers(self):
+        batched = figures.run_all(TINY, names=("fig6", "fig12a"))
+        assert list(batched) == ["fig6", "fig12a"]
+        assert batched["fig6"].sweep().series == figures.fig6("facebook", TINY).series
+        assert batched["fig12a"].sweep().series == figures.fig12a(TINY).series
+
+    def test_dataset_override_retargets_every_scenario(self):
+        batched = figures.run_all(TINY, dataset="enron", names=("fig6",))
+        assert batched["fig6"].sweep().dataset == "enron"
+        assert batched["fig6"].sweep().series == figures.fig6("enron", TINY).series
+
+    def test_default_covers_every_figure_scenario(self):
+        from repro.scenarios import get_scenario
+
+        for name in figures.FIGURE_SCENARIOS:
+            get_scenario(name)  # every default entry resolves in the catalog

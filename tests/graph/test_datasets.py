@@ -66,3 +66,39 @@ class TestLoadDataset:
         nodes, edges = dataset_statistics("facebook", scale=0.05)
         assert nodes == max(64, round(4039 * 0.05))
         assert edges > 0
+
+
+class TestMemoization:
+    """Per-process surrogate memo: deterministic loads generate once."""
+
+    def test_integer_seed_loads_share_one_graph(self):
+        first = load_dataset("facebook", scale=0.02, rng=0)
+        second = load_dataset("facebook", scale=0.02, rng=0)
+        assert second is first, "same (name, scale, seed) must memoize"
+
+    def test_default_scale_and_explicit_scale_share_the_entry(self):
+        spec = DATASETS["enron"]
+        assert load_dataset("enron", scale=0.02) is load_dataset("enron", scale=0.02)
+        assert load_dataset("enron") is load_dataset("enron", scale=spec.default_scale)
+
+    def test_memo_keys_on_every_argument(self):
+        base = load_dataset("facebook", scale=0.02, rng=0)
+        assert load_dataset("facebook", scale=0.03, rng=0) is not base
+        assert load_dataset("facebook", scale=0.02, rng=1) is not base
+        assert load_dataset("enron", scale=0.02, rng=0) is not base
+
+    def test_generator_rng_bypasses_memo(self):
+        import numpy as np
+
+        gen = np.random.default_rng(0)
+        first = load_dataset("facebook", scale=0.02, rng=gen)
+        second = load_dataset("facebook", scale=0.02, rng=gen)
+        assert first is not second, "stateful generators must not memoize"
+
+    def test_memo_is_bounded(self):
+        from repro.graph.datasets import _MEMO_SIZE, _load_dataset_memo
+
+        _load_dataset_memo.cache_clear()
+        for seed in range(_MEMO_SIZE + 4):
+            load_dataset("facebook", scale=0.02, rng=seed)
+        assert _load_dataset_memo.cache_info().currsize <= _MEMO_SIZE

@@ -1,0 +1,101 @@
+"""Tests for the shared-memory export/attach surface of Graph.
+
+Lifecycle contract under test: the exporter creates the segment
+(:meth:`Graph.to_shared`), any number of processes attach zero-copy
+(:meth:`Graph.attach_shared`), and the exporter — only — unlinks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.adjacency import Graph, SharedGraphHandle
+from repro.graph.generators import powerlaw_cluster_graph
+
+
+@pytest.fixture
+def graph():
+    return powerlaw_cluster_graph(120, 4, 0.3, rng=7)
+
+
+class TestRoundTrip:
+    def test_attach_reproduces_graph(self, graph):
+        handle, segment = graph.to_shared()
+        try:
+            attached, view = Graph.attach_shared(handle)
+            assert attached == graph
+            assert attached.num_nodes == graph.num_nodes
+            assert attached.num_edges == graph.num_edges
+            assert np.array_equal(attached.degrees(), graph.degrees())
+            del attached
+            view.close()
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_handle_is_small_and_picklable(self, graph):
+        import pickle
+
+        handle, segment = graph.to_shared()
+        try:
+            clone = pickle.loads(pickle.dumps(handle))
+            assert clone == handle
+            assert isinstance(clone, SharedGraphHandle)
+            # The whole point: workers receive a name, not an edge array.
+            assert len(pickle.dumps(handle)) < 200
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_attached_codes_are_zero_copy_and_read_only(self, graph):
+        handle, segment = graph.to_shared()
+        try:
+            attached, view = Graph.attach_shared(handle)
+            codes = attached.edge_codes
+            assert not codes.flags.owndata, "attached codes must view the segment"
+            with pytest.raises(ValueError):
+                attached._codes[0] = 0
+            del attached, codes
+            view.close()
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_empty_graph_round_trips(self):
+        empty = Graph(5, [])
+        handle, segment = empty.to_shared()
+        try:
+            attached, view = Graph.attach_shared(handle)
+            assert attached == empty
+            assert attached.num_edges == 0
+            view.close()
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_metrics_identical_through_shared_memory(self, graph):
+        from repro.graph.metrics import triangles_per_node
+
+        handle, segment = graph.to_shared()
+        try:
+            attached, view = Graph.attach_shared(handle)
+            assert np.array_equal(
+                triangles_per_node(attached), triangles_per_node(graph)
+            )
+            del attached
+            view.close()
+        finally:
+            segment.close()
+            segment.unlink()
+
+
+class TestLifecycle:
+    def test_unlink_after_attach_close(self, graph):
+        """Exporter unlink succeeds once attachers have closed their views."""
+        handle, segment = graph.to_shared()
+        attached, view = Graph.attach_shared(handle)
+        del attached
+        view.close()
+        segment.close()
+        segment.unlink()
+        with pytest.raises(FileNotFoundError):
+            Graph.attach_shared(handle)

@@ -1,11 +1,12 @@
-"""run_scenario aggregation tests (tiny scales)."""
+"""run_scenario / run_scenarios aggregation tests (tiny scales)."""
 
 import pytest
 
 from repro.engine.cache import NullCache
+from repro.engine.session import EngineSession
 from repro.experiments.config import ExperimentConfig
 from repro.scenarios.registry import get_scenario
-from repro.scenarios.run import run_scenario
+from repro.scenarios.run import prepare_scenario, run_scenario, run_scenarios
 
 TINY = ExperimentConfig(trials=1, scale=0.02, seed=0, cache=False)
 
@@ -66,3 +67,60 @@ class TestOverrides:
         ).sweep()
         assert facebook.dataset == "facebook" and enron.dataset == "enron"
         assert facebook.series != enron.series
+
+
+class TestCrossDataset:
+    """Panels pinned to different datasets compile to one multi-graph batch."""
+
+    def test_panels_carry_their_own_graphs(self):
+        spec = get_scenario("xprod/cross-dataset-mga")
+        graphs, labels, tasks = prepare_scenario(spec, TINY)
+        assert list(graphs) == ["facebook", "enron", "astroph"]
+        assert len({id(graph) for graph in graphs.values()}) == 3
+        keys_by_panel = {
+            panel: {task.graph_key for task in tasks if task.figure == f"XDataset-{panel}"}
+            for panel in graphs
+        }
+        assert all(len(keys) == 1 for keys in keys_by_panel.values())
+        assert len(set().union(*keys_by_panel.values())) == 3, "distinct graphs per panel"
+
+    def test_result_has_one_sweep_per_dataset(self):
+        result = _run("xprod/cross-dataset-mga")
+        assert list(result.panels) == ["facebook", "enron", "astroph"]
+        for dataset, sweep in result.panels.items():
+            assert sweep.dataset == dataset
+            assert set(sweep.series) == {"RVA", "RNA", "MGA"}
+
+    def test_dataset_override_does_not_move_pinned_panels(self):
+        spec = get_scenario("xprod/cross-dataset-mga", dataset="enron")
+        assert [panel.dataset for panel in spec.panels] == ["facebook", "enron", "astroph"]
+
+
+class TestRunScenarios:
+    """Several scenarios batch into one session and stay bit-identical."""
+
+    def test_matches_individual_runs(self):
+        names = ["fig6", "xprod/cross-dataset-mga", "table2"]
+        specs = [get_scenario(name) for name in names]
+        batched = run_scenarios(specs, TINY)
+        assert list(batched) == names
+        for spec in specs:
+            alone = run_scenario(spec, TINY, cache=NullCache())
+            together = batched[spec.name]
+            if alone.table is not None:
+                assert together.table == alone.table
+                continue
+            for key, sweep in alone.panels.items():
+                assert together.panels[key].series == sweep.series
+                assert together.panels[key].stderr == sweep.stderr
+
+    def test_shared_session_registers_each_graph_once(self):
+        specs = [get_scenario("fig6"), get_scenario("fig7")]  # same dataset
+        with EngineSession(jobs=1) as session:
+            run_scenarios(specs, TINY, session=session)
+            assert len(session.graphs) == 1, "one facebook surrogate, one entry"
+
+    def test_duplicate_names_rejected(self):
+        spec = get_scenario("fig6")
+        with pytest.raises(ValueError, match="duplicate"):
+            run_scenarios([spec, spec], TINY)
