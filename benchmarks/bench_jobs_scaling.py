@@ -31,7 +31,7 @@ from collections import OrderedDict
 
 from concurrent.futures import ProcessPoolExecutor
 
-from conftest import _figure_timings, bench_config, emit
+from conftest import bench_config, emit, record_timing
 
 from repro.engine.cache import NullCache
 from repro.engine.executors import execute_task
@@ -170,9 +170,9 @@ def test_jobs_scaling():
         f"  per-panel pools jobs={jobs}  {baseline_seconds:7.2f}s\n"
         f"  session vs per-panel speedup: {speedup:.2f}x",
     )
-    _figure_timings["bench_jobs_scaling/jobs1"] = serial_seconds
-    _figure_timings[f"bench_jobs_scaling/jobs{jobs}"] = session_seconds
-    _figure_timings[f"bench_jobs_scaling/per_panel_pools_jobs{jobs}"] = baseline_seconds
+    record_timing("bench_jobs_scaling/jobs1", serial_seconds)
+    record_timing(f"bench_jobs_scaling/jobs{jobs}", session_seconds)
+    record_timing(f"bench_jobs_scaling/per_panel_pools_jobs{jobs}", baseline_seconds)
 
     # Generous bound only — CI runners are noisy; the recorded trajectory in
     # BENCH_timings.json is where the >=1.3x target is tracked.

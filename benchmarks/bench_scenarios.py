@@ -10,7 +10,7 @@ registry lookup away.
 
 import numpy as np
 import pytest
-from conftest import bench_config, emit
+from conftest import bench_config, emit, record_timing
 
 from repro.scenarios import get_scenario, run_scenario
 
@@ -71,6 +71,8 @@ def test_paired_vs_full_ab():
     finally:
         del os.environ["REPRO_PAIRED_COLLECTION"]
 
+    record_timing("bench_scenarios/paired", paired_seconds)
+    record_timing("bench_scenarios/full", full_seconds)
     emit(
         "paired_vs_full_ab",
         f"fig09 workload ({spec.dataset}): paired {paired_seconds:.2f}s, "

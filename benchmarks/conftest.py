@@ -94,12 +94,22 @@ TIMINGS_PATH = Path(__file__).parent / "BENCH_timings.json"
 _figure_timings: dict = defaultdict(float)
 
 
+def record_timing(name: str, seconds: float) -> None:
+    """Record one named wall-clock measurement into the trajectory file.
+
+    Benches with internal A/B arms (jobs scaling, paired-vs-full) call this
+    per arm instead of relying on the per-module hook, so each arm gets its
+    own line in ``BENCH_timings.json``.
+    """
+    _figure_timings[name] += float(seconds)
+
+
 @pytest.hookimpl(hookwrapper=True)
 def pytest_runtest_call(item):
     """Accumulate per-figure wall clock (setup/teardown excluded)."""
     start = time.perf_counter()
     yield
-    _figure_timings[item.module.__name__] += time.perf_counter() - start
+    record_timing(item.module.__name__, time.perf_counter() - start)
 
 
 def pytest_sessionfinish(session, exitstatus):

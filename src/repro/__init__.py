@@ -65,6 +65,14 @@ from repro.scenarios import (
     run_scenario,
     run_scenarios,
 )
+from repro.telemetry import (
+    ProgressPrinter,
+    RunManifest,
+    TelemetryCallbacks,
+    Tracer,
+    current_tracer,
+    set_tracer,
+)
 
 __version__ = "1.0.0"
 
@@ -113,5 +121,11 @@ __all__ = [
     "FakeReport",
     "LDPGenProtocol",
     "LFGDPRProtocol",
+    "ProgressPrinter",
+    "RunManifest",
+    "TelemetryCallbacks",
+    "Tracer",
+    "current_tracer",
+    "set_tracer",
     "__version__",
 ]

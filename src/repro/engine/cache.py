@@ -95,6 +95,10 @@ class ResultCache:
             os.unlink(handle.name)
             raise
 
+    def stats(self) -> dict:
+        """Lifetime hit/miss counters of this cache instance."""
+        return {"hits": self.hits, "misses": self.misses}
+
     def clear(self) -> int:
         """Delete every entry; returns the number of entries removed."""
         removed = 0
@@ -122,6 +126,10 @@ class NullCache:
 
     def put(self, task: TrialTask, gain: float) -> None:
         """Discard."""
+
+    def stats(self) -> dict:
+        """Always-zero counters (nothing is ever stored)."""
+        return {"hits": 0, "misses": 0}
 
     def clear(self) -> int:
         """Nothing to delete."""

@@ -22,6 +22,15 @@ are grouped by ``graph_key`` so a worker chunk maps exactly one graph, and a
 per-worker attach cache makes repeated chunks on the same graph free.
 Workers therefore never unpickle an edge-array copy — they zero-copy map the
 exporter's segment (create → attach → unlink; the exporter unlinks).
+
+Telemetry: everything reports through :func:`repro.telemetry.core
+.current_tracer` — per-task ``task.execute`` spans (recorded worker-side for
+parallel chunks, shipped back with the chunk results and re-parented under
+the ``executor.fan_out`` span), ``cache.hit``/``cache.miss`` counters and
+batch callbacks in the drivers, and an ``executor.serial_fallback`` counter
+wherever a would-be fan-out ran in-process instead.  With the default null
+tracer all of it is no-op method calls — no span is allocated and RNG state
+is never touched, so traced and untraced runs are bit-identical.
 """
 
 from __future__ import annotations
@@ -30,6 +39,7 @@ import abc
 import os
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor as _ProcessPool
+from concurrent.futures import as_completed
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -49,6 +59,7 @@ from repro.engine.result_store import ShardedResultStore
 from repro.engine.tasks import TrialTask
 from repro.graph.adjacency import Graph, SharedGraphHandle
 from repro.protocols.base import GraphLDPProtocol
+from repro.telemetry.core import Tracer, current_tracer, set_tracer
 from repro.utils.rng import child_rng
 
 #: Any cache flavour the drivers accept.
@@ -93,27 +104,32 @@ def execute_task(
     not registered (such components cannot be cached or parallelised, but
     they follow the exact same seed derivation, so results stay comparable).
     """
-    attack = attack_factory() if attack_factory is not None else ATTACKS.create(task.attack)
-    protocol = (
-        protocol_factory(task.epsilon)
-        if protocol_factory is not None
-        else PROTOCOLS.create(task.protocol, epsilon=task.epsilon)
-    )
-    threat = ThreatModel.sample(
-        graph, task.beta, task.gamma, rng=child_rng(task.seed, "threat")
-    )
-    if task.defense:
-        defense = DEFENSES.create(task.defense, **dict(task.defense_args))
-        outcome = evaluate_defended_attack(
-            graph, protocol, attack, defense, threat,
-            metric=task.metric, rng=task.seed, labels=labels,
+    with current_tracer().span(
+        "task.execute",
+        figure=task.figure, series=task.series, attack=task.attack,
+        value=task.value, trial=task.trial,
+    ):
+        attack = attack_factory() if attack_factory is not None else ATTACKS.create(task.attack)
+        protocol = (
+            protocol_factory(task.epsilon)
+            if protocol_factory is not None
+            else PROTOCOLS.create(task.protocol, epsilon=task.epsilon)
         )
-    else:
-        outcome = evaluate_attack(
-            graph, protocol, attack, threat,
-            metric=task.metric, rng=task.seed, labels=labels,
+        threat = ThreatModel.sample(
+            graph, task.beta, task.gamma, rng=child_rng(task.seed, "threat")
         )
-    return float(outcome.total_gain)
+        if task.defense:
+            defense = DEFENSES.create(task.defense, **dict(task.defense_args))
+            outcome = evaluate_defended_attack(
+                graph, protocol, attack, defense, threat,
+                metric=task.metric, rng=task.seed, labels=labels,
+            )
+        else:
+            outcome = evaluate_attack(
+                graph, protocol, attack, threat,
+                metric=task.metric, rng=task.seed, labels=labels,
+            )
+        return float(outcome.total_gain)
 
 
 class Executor(abc.ABC):
@@ -168,7 +184,13 @@ class SerialExecutor(Executor):
         labels: Optional[np.ndarray] = None,
     ) -> List[float]:
         """Gains of ``tasks``, in input order."""
-        return [execute_task(task, graph, labels) for task in tasks]
+        tracer = current_tracer()
+        gains: List[float] = []
+        for task in tasks:
+            gain = execute_task(task, graph, labels)
+            tracer.task_done(task, gain)
+            gains.append(gain)
+        return gains
 
 
 # ---------------------------------------------------------------------------
@@ -188,6 +210,7 @@ def _attached_graph(handle: SharedGraphHandle) -> Graph:
     cached = _ATTACHED_GRAPHS.get(handle.shm_name)
     if cached is None:
         cached = Graph.attach_shared(handle)
+        current_tracer().counter("shm.graph_attach")
         _ATTACHED_GRAPHS[handle.shm_name] = cached
         while len(_ATTACHED_GRAPHS) > _ATTACH_CACHE_LIMIT:
             _ATTACHED_GRAPHS.popitem(last=False)
@@ -198,18 +221,18 @@ def _attached_labels(handle: SharedLabelsHandle) -> np.ndarray:
     cached = _ATTACHED_LABELS.get(handle.shm_name)
     if cached is None:
         cached = attach_labels(handle)
+        current_tracer().counter("shm.labels_attach")
         _ATTACHED_LABELS[handle.shm_name] = cached
         while len(_ATTACHED_LABELS) > _ATTACH_CACHE_LIMIT:
             _ATTACHED_LABELS.popitem(last=False)
     return cached[0]
 
 
-def _run_shared_chunk(
+def _run_chunk_tasks(
     graph_handles: Dict[str, SharedGraphHandle],
     labels_handles: Dict[str, SharedLabelsHandle],
     indexed_tasks: List[Tuple[int, TrialTask]],
 ) -> List[Tuple[int, float]]:
-    """Worker entry point: run one chunk against shared-memory graphs."""
     results = []
     for index, task in indexed_tasks:
         graph = _attached_graph(graph_handles[task.graph_key])
@@ -217,6 +240,36 @@ def _run_shared_chunk(
         labels = _attached_labels(labels_handle) if labels_handle is not None else None
         results.append((index, execute_task(task, graph, labels)))
     return results
+
+
+def _run_shared_chunk(
+    graph_handles: Dict[str, SharedGraphHandle],
+    labels_handles: Dict[str, SharedLabelsHandle],
+    indexed_tasks: List[Tuple[int, TrialTask]],
+    trace: bool = False,
+):
+    """Worker entry point: run one chunk against shared-memory graphs.
+
+    With ``trace`` the chunk runs under a fresh worker-local tracer whose
+    spans (one ``executor.chunk`` root, one ``task.execute`` per task) and
+    counters travel back with the results as ``(results, payload)``; the
+    parent re-parents them under its fan-out span via
+    :meth:`~repro.telemetry.core.Tracer.adopt`.  Without it the return
+    shape stays the historical plain results list.
+    """
+    if not trace:
+        return _run_chunk_tasks(graph_handles, labels_handles, indexed_tasks)
+    chunk_tracer = Tracer()
+    previous = set_tracer(chunk_tracer)
+    try:
+        with chunk_tracer.span("executor.chunk", tasks=len(indexed_tasks)):
+            results = _run_chunk_tasks(graph_handles, labels_handles, indexed_tasks)
+    finally:
+        set_tracer(previous)
+    return results, {
+        "spans": chunk_tracer.spans_payload(),
+        "counters": dict(chunk_tracer.counters),
+    }
 
 
 def _chunk_indices_by_graph(
@@ -279,6 +332,7 @@ class ParallelExecutor(Executor):
     ) -> List[float]:
         """Gains of ``tasks``, in input order (all on ``graph``)."""
         if self.jobs == 1 or len(tasks) < min_parallel_tasks():
+            current_tracer().counter("executor.serial_fallback")
             return SerialExecutor().execute(tasks, graph, labels)
         # Transient export: the one graph (and labelling) is published once;
         # every distinct key in the batch aliases it, matching the serial
@@ -301,6 +355,7 @@ class ParallelExecutor(Executor):
     ) -> List[float]:
         """Gains of a heterogeneous batch resolved through ``store``."""
         if self.jobs == 1 or len(tasks) < min_parallel_tasks():
+            current_tracer().counter("executor.serial_fallback")
             return super().execute_batch(tasks, store)
         graph_handles, labels_handles = store.handles_for(tasks)
         return self._fan_out(tasks, graph_handles, labels_handles)
@@ -311,35 +366,56 @@ class ParallelExecutor(Executor):
         graph_handles: Mapping[str, SharedGraphHandle],
         labels_handles: Mapping[str, SharedLabelsHandle],
     ) -> List[float]:
+        tracer = current_tracer()
         chunks = _chunk_indices_by_graph(tasks, self.jobs * 4)
         pool = self._pool_factory() if self._pool_factory is not None else None
         owns_pool = pool is None
         if owns_pool:
             pool = _ProcessPool(max_workers=min(self.jobs, len(chunks)))
         try:
-            futures = []
-            for chunk in chunks:
-                chunk_graphs = {
-                    tasks[index].graph_key: graph_handles[tasks[index].graph_key]
-                    for index in chunk
-                }
-                chunk_labels = {
-                    tasks[index].labels_key: labels_handles[tasks[index].labels_key]
-                    for index in chunk
-                    if tasks[index].labels_key in labels_handles
-                }
-                futures.append(
-                    pool.submit(
-                        _run_shared_chunk,
-                        chunk_graphs,
-                        chunk_labels,
-                        [(index, tasks[index]) for index in chunk],
+            with tracer.span(
+                "executor.fan_out",
+                tasks=len(tasks), chunks=len(chunks), jobs=self.jobs,
+            ) as fan_span:
+                tracer.counter("executor.fan_out")
+                futures = []
+                for chunk in chunks:
+                    chunk_graphs = {
+                        tasks[index].graph_key: graph_handles[tasks[index].graph_key]
+                        for index in chunk
+                    }
+                    chunk_labels = {
+                        tasks[index].labels_key: labels_handles[tasks[index].labels_key]
+                        for index in chunk
+                        if tasks[index].labels_key in labels_handles
+                    }
+                    futures.append(
+                        pool.submit(
+                            _run_shared_chunk,
+                            chunk_graphs,
+                            chunk_labels,
+                            [(index, tasks[index]) for index in chunk],
+                            tracer.enabled,
+                        )
                     )
-                )
-            gains: List[Optional[float]] = [None] * len(tasks)
-            for future in futures:
-                for index, gain in future.result():
-                    gains[index] = gain
+                gains: List[Optional[float]] = [None] * len(tasks)
+                # as_completed: progress callbacks fire per finished chunk
+                # instead of in submission order; result placement is by
+                # index, so the output stays deterministic either way.
+                for future in as_completed(futures):
+                    outcome = future.result()
+                    if tracer.enabled:
+                        pairs, payload = outcome
+                        tracer.adopt(
+                            payload["spans"],
+                            parent_id=fan_span.span_id,
+                            counters=payload["counters"],
+                        )
+                    else:
+                        pairs = outcome
+                    for index, gain in pairs:
+                        gains[index] = gain
+                        tracer.task_done(tasks[index], gain)
             if any(gain is None for gain in gains):
                 raise RuntimeError("worker chunks did not cover every task")
             return gains
@@ -363,6 +439,43 @@ def cache_for(config) -> CacheLike:
     return ShardedResultStore() if getattr(config, "cache", False) else NullCache()
 
 
+def _run_through_cache(
+    span_name: str,
+    tasks: Sequence[TrialTask],
+    cache: CacheLike,
+    compute: Callable[[List[TrialTask]], List[float]],
+) -> List[float]:
+    """The shared cache-front driver: hits short-circuit, misses compute.
+
+    All telemetry the drivers emit lives here: the batch span,
+    ``cache.hit``/``cache.miss``/``batch.tasks`` counters, and the
+    ``batch_start``/``task_done`` (cache hits only — executors report
+    computed tasks themselves)/``batch_done`` callback dispatch.
+    """
+    tracer = current_tracer()
+    with tracer.span(span_name, tasks=len(tasks)):
+        tracer.counter("batch.tasks", len(tasks))
+        tracer.batch_start(len(tasks))
+        gains: List[Optional[float]] = [cache.get(task) for task in tasks]
+        missing = [index for index, gain in enumerate(gains) if gain is None]
+        hits = len(tasks) - len(missing)
+        tracer.counter("cache.hit", hits)
+        tracer.counter("cache.miss", len(missing))
+        if tracer.enabled and hits:
+            for index, gain in enumerate(gains):
+                if gain is not None:
+                    tracer.task_done(tasks[index], gain)
+        if missing:
+            computed = compute([tasks[index] for index in missing])
+            for index, gain in zip(missing, computed):
+                cache.put(tasks[index], gain)
+                gains[index] = gain
+        tracer.batch_done(
+            {"tasks": len(tasks), "cache_hits": hits, "cache_misses": len(missing)}
+        )
+        return [float(gain) for gain in gains]
+
+
 def run_tasks(
     tasks: Sequence[TrialTask],
     graph: Graph,
@@ -378,14 +491,10 @@ def run_tasks(
     """
     executor = executor if executor is not None else SerialExecutor()
     cache = cache if cache is not None else NullCache()
-    gains: List[Optional[float]] = [cache.get(task) for task in tasks]
-    missing = [index for index, gain in enumerate(gains) if gain is None]
-    if missing:
-        computed = executor.execute([tasks[index] for index in missing], graph, labels)
-        for index, gain in zip(missing, computed):
-            cache.put(tasks[index], gain)
-            gains[index] = gain
-    return [float(gain) for gain in gains]
+    return _run_through_cache(
+        "engine.run_tasks", tasks, cache,
+        lambda missing: executor.execute(missing, graph, labels),
+    )
 
 
 def run_batch(
@@ -402,11 +511,7 @@ def run_batch(
     """
     executor = executor if executor is not None else SerialExecutor()
     cache = cache if cache is not None else NullCache()
-    gains: List[Optional[float]] = [cache.get(task) for task in tasks]
-    missing = [index for index, gain in enumerate(gains) if gain is None]
-    if missing:
-        computed = executor.execute_batch([tasks[index] for index in missing], store)
-        for index, gain in zip(missing, computed):
-            cache.put(tasks[index], gain)
-            gains[index] = gain
-    return [float(gain) for gain in gains]
+    return _run_through_cache(
+        "engine.run_batch", tasks, cache,
+        lambda missing: executor.execute_batch(missing, store),
+    )

@@ -32,6 +32,7 @@ from repro.graph.adjacency import (
     SharedGraphHandle,
     attach_shared_memory,
 )
+from repro.telemetry.core import current_tracer
 
 
 class SharedLabelsHandle:
@@ -148,7 +149,11 @@ class GraphStore:
         self._check_open()
         handle = self._graph_handles.get(graph_key)
         if handle is None:
-            handle, segment = self.graph(graph_key).to_shared()
+            tracer = current_tracer()
+            with tracer.span("shm.graph_export", graph_key=graph_key):
+                handle, segment = self.graph(graph_key).to_shared()
+            tracer.counter("shm.graph_export")
+            tracer.counter("shm.export_bytes", segment.size)
             self._graph_handles[graph_key] = handle
             self._segments.append(segment)
         return handle
@@ -162,6 +167,9 @@ class GraphStore:
         if handle is None:
             labels = self.labels(labels_key)
             handle, segment = _export_labels(labels)
+            tracer = current_tracer()
+            tracer.counter("shm.labels_export")
+            tracer.counter("shm.export_bytes", segment.size)
             self._labels_handles[labels_key] = handle
             self._segments.append(segment)
         return handle

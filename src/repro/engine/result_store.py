@@ -33,6 +33,7 @@ from typing import Dict, Optional, Set, Union
 
 from repro.engine.cache import CACHE_VERSION, default_cache_dir
 from repro.engine.tasks import TrialTask, identity_payload
+from repro.telemetry.core import current_tracer
 
 #: Hex digits of the content hash selecting a shard (256 shards).
 SHARD_PREFIX_LEN = 2
@@ -58,8 +59,28 @@ class ShardedResultStore:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        self.appends = 0
+        self.migrated = 0
+        self.shards_loaded = 0
         self._index: Dict[str, Dict[str, dict]] = {}
         self._loaded: Set[str] = set()
+
+    def stats(self) -> Dict[str, int]:
+        """Lifetime counters of this store instance.
+
+        ``hits``/``misses`` count :meth:`get` outcomes, ``appends`` counts
+        :meth:`put` writes, ``migrated`` counts legacy entries forwarded
+        into shards, and ``shards_loaded`` counts shard files actually
+        parsed.  :meth:`~repro.engine.session.EngineSession.close` logs
+        this snapshot through telemetry.
+        """
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "appends": self.appends,
+            "migrated": self.migrated,
+            "shards_loaded": self.shards_loaded,
+        }
 
     # ------------------------------------------------------------------
     # Layout
@@ -85,8 +106,10 @@ class ShardedResultStore:
             entry = self._read_legacy(task, digest)
         if entry is None or not self._valid(entry, task):
             self.misses += 1
+            current_tracer().counter("result_store.miss")
             return None
         self.hits += 1
+        current_tracer().counter("result_store.hit")
         return float(entry["gain"])
 
     def _valid(self, entry: dict, task: TrialTask) -> bool:
@@ -113,6 +136,8 @@ class ShardedResultStore:
             self._append(digest, entry)
         except OSError:
             self._index.setdefault(digest[:SHARD_PREFIX_LEN], {})[digest] = entry
+        self.migrated += 1
+        current_tracer().counter("result_store.migrated")
         return entry
 
     def _load_shard(self, prefix: str) -> None:
@@ -122,6 +147,7 @@ class ShardedResultStore:
         index = self._index.setdefault(prefix, {})
         try:
             with open(self.shard_path(prefix), "r", encoding="utf-8") as handle:
+                self.shards_loaded += 1
                 for line in handle:
                     line = line.strip()
                     if not line:
@@ -148,7 +174,9 @@ class ShardedResultStore:
             "task": identity_payload(task),
             "gain": float(gain),
         }
-        self._append(digest, entry)
+        with current_tracer().timer("result_store.append"):
+            self._append(digest, entry)
+        self.appends += 1
 
     def _append(self, digest: str, entry: dict) -> None:
         prefix = digest[:SHARD_PREFIX_LEN]

@@ -50,6 +50,7 @@ from repro.engine.executors import (
 from repro.engine.graph_store import GraphStore
 from repro.engine.tasks import TrialTask
 from repro.graph.adjacency import Graph
+from repro.telemetry.core import TracerLike, current_tracer, set_tracer
 
 
 class EngineSession:
@@ -64,9 +65,20 @@ class EngineSession:
         Result cache fronting every batch; defaults to no caching.  Pass
         :class:`~repro.engine.result_store.ShardedResultStore` (or use
         :meth:`from_config` with ``config.cache=True``) for persistence.
+    telemetry:
+        A :class:`~repro.telemetry.core.Tracer` to install as the
+        process-local tracer for the session's lifetime (restored on
+        :meth:`close`).  None leaves the current tracer — usually the
+        no-op :data:`~repro.telemetry.core.NULL_TRACER` — in place;
+        ``REPRO_TRACE=1`` activates one without code changes either way.
     """
 
-    def __init__(self, jobs: int = 1, cache: Optional[CacheLike] = None):
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[CacheLike] = None,
+        telemetry: Optional[TracerLike] = None,
+    ):
         if jobs < 1:
             raise ValueError(f"jobs must be at least 1, got {jobs}")
         self.jobs = int(jobs)
@@ -74,6 +86,10 @@ class EngineSession:
         self.graphs = GraphStore()
         self._pool: Optional[_ProcessPool] = None
         self._closed = False
+        self._previous_tracer: Optional[TracerLike] = None
+        if telemetry is not None:
+            self._previous_tracer = set_tracer(telemetry)
+        current_tracer().counter("session.create")
 
     @classmethod
     def from_config(cls, config, cache: Optional[CacheLike] = None) -> "EngineSession":
@@ -112,7 +128,8 @@ class EngineSession:
         """
         self._check_open()
         cache = cache if cache is not None else self.cache
-        return run_batch(tasks, self.graphs, executor=self._executor(), cache=cache)
+        with current_tracer().span("session.run", tasks=len(tasks), jobs=self.jobs):
+            return run_batch(tasks, self.graphs, executor=self._executor(), cache=cache)
 
     def _executor(self):
         if self.jobs == 1:
@@ -122,22 +139,42 @@ class EngineSession:
         return ParallelExecutor(jobs=self.jobs, pool_factory=self._ensure_pool)
 
     def _ensure_pool(self) -> _ProcessPool:
+        tracer = current_tracer()
         if self._pool is None:
-            self._pool = _ProcessPool(max_workers=self.jobs)
+            with tracer.span("pool.create", jobs=self.jobs):
+                self._pool = _ProcessPool(max_workers=self.jobs)
+            tracer.counter("pool.create")
+        else:
+            tracer.counter("pool.reuse")
         return self._pool
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut the pool down, then unlink every shared segment.  Idempotent."""
+        """Shut the pool down, then unlink every shared segment.  Idempotent.
+
+        The session cache's lifetime statistics (``ShardedResultStore.stats``:
+        hits, misses, appends, migrations, shards loaded) are logged through
+        telemetry as the ``session.close`` span's attributes instead of
+        being dropped with the store.  A tracer installed via
+        ``telemetry=...`` is restored to the previous one afterwards.
+        """
         if self._closed:
             return
         self._closed = True
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
-        self.graphs.close()
+        try:
+            stats_of = getattr(self.cache, "stats", None)
+            attrs = dict(stats_of()) if callable(stats_of) else {}
+            with current_tracer().span("session.close", **attrs):
+                if self._pool is not None:
+                    self._pool.shutdown()
+                    self._pool = None
+                self.graphs.close()
+        finally:
+            if self._previous_tracer is not None:
+                set_tracer(self._previous_tracer)
+                self._previous_tracer = None
 
     def _check_open(self) -> None:
         if self._closed:

@@ -25,7 +25,9 @@ Record / verify the golden regression fixtures under ``tests/golden``::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
+import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -35,6 +37,9 @@ from repro.experiments.reporting import format_table
 from repro.scenarios import golden as golden_store
 from repro.scenarios.registry import SCENARIOS, get_scenario, scenario_names
 from repro.scenarios.run import run_scenario, run_scenarios
+from repro.telemetry import ProgressPrinter, RunManifest, Tracer
+from repro.telemetry.core import current_tracer, use_tracer
+from repro.telemetry.export import summarize_trace, write_trace
 
 #: Figure drivers that take (dataset, config).
 _PER_DATASET: Dict[str, Callable] = {
@@ -134,6 +139,16 @@ def _add_scenario_commands(subparsers) -> None:
         "names run as one batched fan-out",
     )
     _add_run_options(runner, dataset_default=None)
+    runner.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record telemetry and write a JSONL trace (plus a sibling "
+        ".manifest.json run manifest) to PATH; inspect it with "
+        "'repro trace summarize PATH'",
+    )
+    runner.add_argument(
+        "--progress", action="store_true",
+        help="print live per-panel progress to stderr while trials run",
+    )
 
     recorder = actions.add_parser(
         "record",
@@ -175,6 +190,30 @@ def _add_scenario_commands(subparsers) -> None:
     )
 
 
+def _add_trace_commands(subparsers) -> None:
+    """The ``trace`` subcommand family (summarize)."""
+    trace = subparsers.add_parser(
+        "trace",
+        help="inspect telemetry traces written by 'scenario run --trace'",
+        description="Work with JSONL telemetry traces: summarize renders "
+        "the top spans by total time, every counter total and the run "
+        "manifest (if present next to the trace).",
+    )
+    actions = trace.add_subparsers(dest="action", required=True)
+    summarizer = actions.add_parser(
+        "summarize",
+        help="print top-spans and counter tables for one trace file",
+        description="Parse a trace JSONL file (tolerating torn lines) and "
+        "print the top spans by total time, all counter totals and the "
+        "sibling manifest's one-line summary.",
+    )
+    summarizer.add_argument("path", help="trace JSONL file to summarize")
+    summarizer.add_argument(
+        "--top", type=int, default=15,
+        help="span names to show, by descending total time (default: %(default)s)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -194,6 +233,7 @@ def build_parser() -> argparse.ArgumentParser:
         artifact = subparsers.add_parser(name, help=helps[name])
         _add_run_options(artifact, dataset_default="facebook")
     _add_scenario_commands(subparsers)
+    _add_trace_commands(subparsers)
     return parser
 
 
@@ -235,14 +275,57 @@ def _scenario_list(args, out) -> int:
 
 def _scenario_run(args, out) -> int:
     specs = [get_scenario(name, dataset=args.dataset or "") for name in args.names]
-    if len(specs) == 1:
-        print(run_scenario(specs[0], _config_from(args)).format(), file=out)
-        return 0
-    results = run_scenarios(specs, _config_from(args))
-    blocks = [
-        f"=== {name} ===\n{result.format()}" for name, result in results.items()
-    ]
+    config = _config_from(args)
+
+    # --trace/--progress install an explicit tracer for this run only;
+    # without them the current tracer stays in charge (REPRO_TRACE still
+    # promotes one process-wide, it just isn't exported to a file here).
+    tracer: Optional[Tracer] = None
+    if args.trace or args.progress:
+        tracer = Tracer()
+        if args.progress:
+            tracer.add_callback(ProgressPrinter())
+
+    started = time.perf_counter()
+    with use_tracer(tracer) if tracer is not None else _current_tracer_scope():
+        if len(specs) == 1:
+            blocks = [run_scenario(specs[0], config).format()]
+        else:
+            results = run_scenarios(specs, config)
+            blocks = [
+                f"=== {name} ===\n{result.format()}"
+                for name, result in results.items()
+            ]
     print("\n\n".join(blocks), file=out)
+
+    if args.trace and tracer is not None:
+        manifest = RunManifest.from_tracer(
+            tracer,
+            scenarios=[spec.name for spec in specs],
+            config=dataclasses.asdict(config),
+            wall_seconds=time.perf_counter() - started,
+        )
+        path = write_trace(tracer, args.trace, manifest=manifest)
+        print(f"trace written to {path}", file=out)
+    return 0
+
+
+class _current_tracer_scope:
+    """No-op stand-in for :class:`use_tracer` when no tracer is installed."""
+
+    def __enter__(self):
+        return current_tracer()
+
+    def __exit__(self, *exc_info):
+        pass
+
+
+def _trace_summarize(args, out) -> int:
+    path = Path(args.path)
+    if not path.is_file():
+        print(f"no trace file at {path}", file=out)
+        return 1
+    print(summarize_trace(path, top=args.top), file=out)
     return 0
 
 
@@ -302,6 +385,9 @@ def run(argv: Optional[Sequence[str]] = None, out=None) -> int:
             "check": _scenario_check,
         }[args.action]
         return handler(args, out)
+
+    if args.artifact == "trace":
+        return _trace_summarize(args, out)
 
     if args.artifact == "list":
         lines: List[str] = ["available artifacts:"]

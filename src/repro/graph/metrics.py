@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.graph.adjacency import Graph
 from repro.graph.bitmatrix import BitMatrix, should_use_packed
+from repro.telemetry.core import current_tracer
 from repro.utils.sparse import decode_pairs, pair_count
 
 #: Touched-row fraction above which incremental before/after estimation loses
@@ -211,8 +212,10 @@ def triangles_per_node_incremental(
         return before_triangles
     if not should_use_incremental(n, touched.size):
         _DELTA_STATS["fallback"] += 1
+        current_tracer().counter("delta.fallback")
         return triangles_per_node(after)
     _DELTA_STATS["incremental"] += 1
+    current_tracer().counter("delta.incremental")
     if should_use_packed(before):
         packed_before = cache.get("bitmatrix") if cache is not None else None
         if packed_before is None:

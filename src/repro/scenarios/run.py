@@ -33,6 +33,7 @@ from repro.graph.adjacency import Graph
 from repro.graph.datasets import DATASETS, load_dataset
 from repro.scenarios.compiler import FLAT_VALUE, compile_panels
 from repro.scenarios.spec import SWEEP_FLAT, ScenarioSpec
+from repro.telemetry.core import current_tracer
 
 
 def load_scenario_graph(spec: ScenarioSpec, config: ExperimentConfig) -> Graph:
@@ -150,6 +151,7 @@ def _aggregate(
     for task, gain in zip(tasks, gains):
         by_point.setdefault((task.figure, task.series, task.value), []).append(gain)
 
+    tracer = current_tracer()
     result = ScenarioResult(spec=spec)
     for panel in spec.panels:
         sweep = SweepResult(
@@ -159,10 +161,30 @@ def _aggregate(
             parameter=spec.parameter,
             values=list(spec.values),
         )
-        for value in spec.values:
-            for series in panel.series:
-                point = FLAT_VALUE if series.sweep == SWEEP_FLAT else float(value)
-                sweep.add_point(series.name, by_point[(panel.figure, series.name, point)])
+        with tracer.span(
+            "scenario.panel", figure=panel.figure, dataset=sweep.dataset
+        ):
+            for value in spec.values:
+                for series in panel.series:
+                    point = FLAT_VALUE if series.sweep == SWEEP_FLAT else float(value)
+                    trials = by_point[(panel.figure, series.name, point)]
+                    sweep.add_point(series.name, trials)
+                    if tracer.enabled:
+                        mean = sweep.series[series.name][-1]
+                        stderr = sweep.stderr[series.name][-1]
+                        with tracer.span(
+                            "scenario.point",
+                            figure=panel.figure,
+                            series=series.name,
+                            value=point,
+                            mean=mean,
+                            stderr=stderr,
+                            trials=len(trials),
+                        ):
+                            pass
+                        tracer.point_done(
+                            panel.figure, series.name, point, mean, stderr, len(trials)
+                        )
         result.panels[panel.key] = sweep
     return result
 
@@ -190,23 +212,27 @@ def run_scenario(
     if spec.kind == "stats":
         return ScenarioResult(spec=spec, table=_dataset_stats(spec, config))
 
-    graphs, labels, tasks = prepared if prepared is not None else prepare_scenario(spec, config)
+    with current_tracer().span("scenario.run", scenario=spec.name) as run_span:
+        graphs, labels, tasks = (
+            prepared if prepared is not None else prepare_scenario(spec, config)
+        )
+        run_span.set(panels=len(spec.panels), tasks=len(tasks))
 
-    if executor is not None:
-        with GraphStore() as store:
+        if executor is not None:
+            with GraphStore() as store:
+                for key, graph in graphs.items():
+                    store.add(graph, labels.get(key))
+                gains = run_batch(
+                    tasks, store, executor=executor,
+                    cache=cache if cache is not None else cache_for(config),
+                )
+            return _aggregate(spec, tasks, gains)
+
+        with session_scope(config, session, cache) as (live_session, batch_cache):
             for key, graph in graphs.items():
-                store.add(graph, labels.get(key))
-            gains = run_batch(
-                tasks, store, executor=executor,
-                cache=cache if cache is not None else cache_for(config),
-            )
+                live_session.add_graph(graph, labels.get(key))
+            gains = live_session.run(tasks, cache=batch_cache)
         return _aggregate(spec, tasks, gains)
-
-    with session_scope(config, session, cache) as (live_session, batch_cache):
-        for key, graph in graphs.items():
-            live_session.add_graph(graph, labels.get(key))
-        gains = live_session.run(tasks, cache=batch_cache)
-    return _aggregate(spec, tasks, gains)
 
 
 def run_scenarios(

@@ -1,0 +1,43 @@
+"""Engine telemetry: structured spans, counters, manifests, live progress.
+
+See :mod:`repro.telemetry.core` for the tracing primitives and activation
+rules, :mod:`repro.telemetry.export` for trace files and run manifests, and
+:mod:`repro.telemetry.progress` for the callback protocol.
+"""
+
+from repro.telemetry.core import (
+    NULL_TRACER,
+    TRACE_ENV,
+    NullTracer,
+    Span,
+    Tracer,
+    current_tracer,
+    set_tracer,
+    use_tracer,
+)
+from repro.telemetry.export import (
+    RunManifest,
+    load_trace,
+    manifest_path,
+    summarize_trace,
+    write_trace,
+)
+from repro.telemetry.progress import ProgressPrinter, TelemetryCallbacks
+
+__all__ = [
+    "NULL_TRACER",
+    "TRACE_ENV",
+    "NullTracer",
+    "ProgressPrinter",
+    "RunManifest",
+    "Span",
+    "TelemetryCallbacks",
+    "Tracer",
+    "current_tracer",
+    "load_trace",
+    "manifest_path",
+    "set_tracer",
+    "summarize_trace",
+    "use_tracer",
+    "write_trace",
+]

@@ -1,0 +1,85 @@
+"""Telemetry callbacks: the hook protocol and the live progress printer.
+
+:class:`TelemetryCallbacks` is the attachment point the ROADMAP's adaptive
+trial allocation (item 4) needs: the engine drivers fire ``batch_start`` /
+``task_done`` / ``batch_done`` and the scenario aggregator ``point_done``
+through :meth:`~repro.telemetry.core.Tracer` dispatch, so a progress bar,
+a variance monitor or a future early-stop controller attaches with
+``tracer.add_callback(...)`` — zero engine changes.
+
+Callbacks run in the driving process (for parallel batches, as chunk
+futures complete), never inside workers, so they may hold open files and
+terminal state.  Exceptions propagate: a deliberate early-stop hook raising
+is how a future controller will end a batch.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, Optional, TextIO
+
+
+class TelemetryCallbacks:
+    """Base/no-op implementation of every telemetry hook.
+
+    Subclass and override what you need; unimplemented hooks stay no-ops so
+    the dispatch sites never need feature checks.
+    """
+
+    def on_batch_start(self, total: int) -> None:
+        """A task batch of ``total`` tasks is about to execute."""
+
+    def on_task_done(self, task, gain: float) -> None:
+        """One task finished (or was answered from cache) with ``gain``."""
+
+    def on_point_done(self, figure: str, series: str, value: float,
+                      mean: float, stderr: float, trials: int) -> None:
+        """One aggregated sweep point is final: the per-point variance feed."""
+
+    def on_batch_done(self, stats: dict) -> None:
+        """The batch finished; ``stats`` carries task/cache-hit counts."""
+
+
+class ProgressPrinter(TelemetryCallbacks):
+    """Live per-panel progress on one rewritten stderr line.
+
+    Tracks completed tasks per panel (the ``figure`` display coordinate each
+    task carries) and rewrites a single ``\\r`` line as results land —
+    cache hits count immediately, computed tasks as their chunks complete.
+    Only writes to a TTY-ish stream it was given; the batch-done summary
+    always prints, so ``--progress`` in CI logs stays one line per batch.
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None):
+        self.stream = stream if stream is not None else sys.stderr
+        self.total = 0
+        self.done = 0
+        self._per_panel: Dict[str, int] = {}
+        self._line_open = False
+
+    def on_batch_start(self, total: int) -> None:
+        self.total = total
+        self.done = 0
+        self._per_panel.clear()
+
+    def on_task_done(self, task, gain: float) -> None:
+        self.done += 1
+        panel = getattr(task, "figure", "") or "batch"
+        self._per_panel[panel] = self._per_panel.get(panel, 0) + 1
+        panels = " ".join(
+            f"{name}:{count}" for name, count in sorted(self._per_panel.items())
+        )
+        self.stream.write(f"\r[{self.done}/{self.total}] {panels}"[:200])
+        self.stream.flush()
+        self._line_open = True
+
+    def on_batch_done(self, stats: dict) -> None:
+        if self._line_open:
+            self.stream.write("\n")
+            self._line_open = False
+        hits = stats.get("cache_hits", 0)
+        self.stream.write(
+            f"batch done: {stats.get('tasks', self.done)} tasks "
+            f"({hits} from cache)\n"
+        )
+        self.stream.flush()

@@ -155,3 +155,64 @@ class TestScenarioCommands:
     def test_scenario_requires_action(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["scenario"])
+
+
+class TestTraceCommands:
+    """The --trace/--progress run options and the trace summarize command."""
+
+    def test_traced_scenario_run_writes_trace_and_manifest(self, tmp_path):
+        from repro.telemetry.core import NULL_TRACER, current_tracer
+        from repro.telemetry.export import RunManifest, load_trace, manifest_path
+
+        trace_file = tmp_path / "run.jsonl"
+        out = io.StringIO()
+        code = run(
+            ["scenario", "run", "fig6", "--scale", "0.02", "--no-cache",
+             "--trace", str(trace_file)],
+            out=out,
+        )
+        assert code == 0
+        assert f"trace written to {trace_file}" in out.getvalue()
+        assert current_tracer() is NULL_TRACER, "CLI must restore the tracer"
+
+        spans, counters = load_trace(trace_file)
+        names = {span["name"] for span in spans}
+        assert {"scenario.run", "session.run", "task.execute"} <= names
+        assert counters["batch.tasks"] == counters["cache.miss"] > 0
+
+        manifest = RunManifest.load(manifest_path(trace_file))
+        assert manifest.scenarios == ["fig6"]
+        assert manifest.task_count == counters["batch.tasks"]
+        assert manifest.config["trials"] == 2
+        assert manifest.wall_seconds > 0
+
+    def test_progress_goes_to_stderr(self, tmp_path, capsys):
+        out = io.StringIO()
+        code = run(
+            ["scenario", "run", "fig6", "--scale", "0.02", "--trials", "1",
+             "--no-cache", "--progress"],
+            out=out,
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "batch done:" in captured.err
+        assert "Fig6" in out.getvalue()
+
+    def test_trace_summarize(self, tmp_path):
+        trace_file = tmp_path / "run.jsonl"
+        run(
+            ["scenario", "run", "fig6", "--scale", "0.02", "--trials", "1",
+             "--no-cache", "--trace", str(trace_file)],
+            out=io.StringIO(),
+        )
+        out = io.StringIO()
+        assert run(["trace", "summarize", str(trace_file)], out=out) == 0
+        text = out.getvalue()
+        assert "task.execute" in text
+        assert "batch.tasks" in text
+        assert "scenarios=fig6" in text
+
+    def test_trace_summarize_missing_file(self, tmp_path):
+        out = io.StringIO()
+        assert run(["trace", "summarize", str(tmp_path / "nope.jsonl")], out=out) == 1
+        assert "no trace file" in out.getvalue()

@@ -49,6 +49,22 @@ def test_replay_matches_golden(name):
     assert not problems, "golden drift:\n" + "\n".join(problems)
 
 
+@pytest.mark.parametrize("name", RECORDED)
+def test_replay_matches_golden_with_telemetry(name):
+    """Tracing must never perturb results: spans touch no RNG state, so a
+    fully traced replay stays zero-diff against every fixture."""
+    from repro.telemetry.core import Tracer, use_tracer
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        problems = golden_store.check_golden(SCENARIOS.create(name), GOLDEN_DIR)
+    assert not problems, "golden drift under telemetry:\n" + "\n".join(problems)
+    if SCENARIOS.create(name).kind == "sweep":
+        assert any(span.name == "task.execute" for span in tracer.spans), (
+            "tracer was installed but recorded no task spans"
+        )
+
+
 class TestHarnessSensitivity:
     """The comparator itself must catch drift (a harness that can't fail
     protects nothing)."""

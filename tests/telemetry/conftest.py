@@ -1,0 +1,19 @@
+"""Tracer isolation: every telemetry test starts and ends at NULL_TRACER.
+
+The tracer is process-local state; a test that installs one and fails
+before restoring it must not leak spans into its neighbours.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry.core import NULL_TRACER, reset_env_activation, set_tracer
+
+
+@pytest.fixture(autouse=True)
+def _reset_tracer():
+    set_tracer(NULL_TRACER)
+    yield
+    set_tracer(NULL_TRACER)
+    reset_env_activation()

@@ -1,0 +1,215 @@
+"""Tracer/Span mechanics: nesting, counters, adoption, activation paths."""
+
+import pytest
+
+from repro.telemetry.core import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    current_tracer,
+    reset_env_activation,
+    set_tracer,
+    use_tracer,
+)
+from repro.telemetry.progress import TelemetryCallbacks
+
+
+class TestSpans:
+    def test_span_records_interval_and_attributes(self):
+        tracer = Tracer()
+        with tracer.span("work", size=3) as span:
+            span.set(extra="yes")
+        assert len(tracer.spans) == 1
+        done = tracer.spans[0]
+        assert done.name == "work"
+        assert done.attributes == {"size": 3, "extra": "yes"}
+        assert done.end_ns >= done.start_ns
+
+    def test_nesting_links_parents(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        # Finished in completion order: inner first.
+        assert [s.name for s in tracer.spans] == ["inner", "outer"]
+
+    def test_siblings_share_a_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        a, b = tracer.spans[0], tracer.spans[1]
+        assert a.parent_id == root.span_id and b.parent_id == root.span_id
+        assert a.span_id != b.span_id
+
+    def test_event_is_instant(self):
+        tracer = Tracer()
+        span = tracer.event("mark", value=1.5)
+        assert span in tracer.spans
+        assert span.attributes == {"value": 1.5}
+
+    def test_payload_roundtrip(self):
+        tracer = Tracer()
+        with tracer.span("x", k="v"):
+            pass
+        payload = tracer.spans_payload()[0]
+        back = Span.from_payload(payload)
+        assert back.name == "x"
+        assert back.attributes == {"k": "v"}
+        assert back.to_payload() == payload
+
+
+class TestCountersAndTimers:
+    def test_counter_accumulates(self):
+        tracer = Tracer()
+        tracer.counter("hits")
+        tracer.counter("hits", 4)
+        assert tracer.counters["hits"] == 5
+
+    def test_timer_records_ns_and_calls(self):
+        tracer = Tracer()
+        with tracer.timer("append"):
+            pass
+        with tracer.timer("append"):
+            pass
+        assert tracer.counters["append.calls"] == 2
+        assert tracer.counters["append.ns"] >= 0
+
+
+class TestAdopt:
+    def test_remaps_ids_and_reparents_roots(self):
+        worker = Tracer()
+        with worker.span("chunk") as chunk:
+            with worker.span("task"):
+                pass
+        parent = Tracer()
+        with parent.span("fan_out") as fan:
+            pass
+        parent.adopt(worker.spans_payload(), parent_id=fan.span_id,
+                     counters={"w": 2})
+        by_name = {s.name: s for s in parent.spans}
+        assert by_name["chunk"].parent_id == fan.span_id
+        assert by_name["task"].parent_id == by_name["chunk"].span_id
+        # Fresh ids from the parent's sequence — no collision with fan_out.
+        ids = {s.span_id for s in parent.spans}
+        assert len(ids) == 3
+        assert parent.counters["w"] == 2
+
+    def test_adopted_ids_do_not_collide_with_later_spans(self):
+        worker = Tracer()
+        with worker.span("w"):
+            pass
+        parent = Tracer()
+        parent.adopt(worker.spans_payload())
+        with parent.span("later"):
+            pass
+        ids = [s.span_id for s in parent.spans]
+        assert len(ids) == len(set(ids))
+
+
+class TestCallbacks:
+    def test_dispatch_reaches_every_callback(self):
+        calls = []
+
+        class Recorder(TelemetryCallbacks):
+            def on_batch_start(self, total):
+                calls.append(("start", total))
+
+            def on_task_done(self, task, gain):
+                calls.append(("task", task, gain))
+
+            def on_point_done(self, figure, series, value, mean, stderr, trials):
+                calls.append(("point", figure))
+
+            def on_batch_done(self, stats):
+                calls.append(("done", stats))
+
+        tracer = Tracer()
+        tracer.add_callback(Recorder())
+        tracer.batch_start(5)
+        tracer.task_done("t", 0.5)
+        tracer.point_done("Fig6", "MGA", 1.0, 0.2, 0.01, 2)
+        tracer.batch_done({"tasks": 5})
+        assert calls == [
+            ("start", 5), ("task", "t", 0.5), ("point", "Fig6"),
+            ("done", {"tasks": 5}),
+        ]
+
+    def test_default_callbacks_are_noops(self):
+        hooks = TelemetryCallbacks()
+        hooks.on_batch_start(1)
+        hooks.on_task_done(None, 0.0)
+        hooks.on_point_done("f", "s", 0.0, 0.0, 0.0, 1)
+        hooks.on_batch_done({})
+
+
+class TestNullTracer:
+    def test_span_is_the_shared_singleton(self):
+        """The off path allocates nothing: every span() is one object."""
+        null = NullTracer()
+        first = null.span("a", big="attrs")
+        second = null.span("b")
+        assert first is second
+        assert first is null.timer("t")
+        with first as entered:
+            entered.set(x=1)
+        assert null.spans == ()
+        assert null.counters == {}
+
+    def test_counter_and_dispatch_are_noops(self):
+        null = NullTracer()
+        null.counter("anything", 10)
+        null.batch_start(1)
+        null.task_done(None, 0.0)
+        null.point_done("f", "s", 0, 0, 0, 1)
+        null.batch_done({})
+        null.adopt([{"span_id": 1}], parent_id=None)
+        assert null.spans_payload() == []
+        assert NullTracer.counters == {}
+
+    def test_add_callback_refuses(self):
+        with pytest.raises(RuntimeError, match="disabled tracer"):
+            NULL_TRACER.add_callback(TelemetryCallbacks())
+
+
+class TestActivation:
+    def test_default_is_null(self):
+        assert current_tracer() is NULL_TRACER
+        assert not current_tracer().enabled
+
+    def test_set_tracer_returns_previous(self):
+        live = Tracer()
+        assert set_tracer(live) is NULL_TRACER
+        assert current_tracer() is live
+        assert set_tracer(None) is live
+        assert current_tracer() is NULL_TRACER
+
+    def test_env_promotes_once(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        reset_env_activation()
+        promoted = current_tracer()
+        assert promoted.enabled
+        assert current_tracer() is promoted
+
+    def test_env_zero_stays_null(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "0")
+        reset_env_activation()
+        assert current_tracer() is NULL_TRACER
+
+    def test_explicit_install_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        reset_env_activation()
+        set_tracer(NULL_TRACER)
+        assert current_tracer() is NULL_TRACER
+
+    def test_use_tracer_restores(self):
+        live = Tracer()
+        with use_tracer(live) as active:
+            assert active is live
+            assert current_tracer() is live
+        assert current_tracer() is NULL_TRACER

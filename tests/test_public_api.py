@@ -52,6 +52,10 @@ TOP_LEVEL_API = [
     "get_scenario",
     "register_scenario",
     "run_scenario",
+    "Tracer",
+    "RunManifest",
+    "TelemetryCallbacks",
+    "current_tracer",
 ]
 
 SUBPACKAGES = [
@@ -63,6 +67,7 @@ SUBPACKAGES = [
     "repro.engine",
     "repro.experiments",
     "repro.scenarios",
+    "repro.telemetry",
     "repro.utils",
 ]
 
