@@ -1,0 +1,83 @@
+"""Batched-vs-scalar kernel A/B on Fig. 9 (clustering coefficient vs eps).
+
+Runs the same figure twice at equal settings — once through the cross-trial
+batched kernels (``REPRO_BATCH_TRIALS=1``, the default) and once through
+the per-trial scalar path (``REPRO_BATCH_TRIALS=0``) — and asserts the two
+arms are **sha256-identical** over every raw trial gain before comparing
+wall-clocks.  Identity is the contract that lets the batched path reuse the
+scalar path's cache entries without a ``CACHE_VERSION`` bump; the timing
+delta is the whole point of the batching.
+
+Both arm wall-clocks land in ``benchmarks/BENCH_timings.json``
+(``bench_kernels/batched`` and ``bench_kernels/scalar``), so the trajectory
+file tracks the kernel speedup across commits.  The in-test assertion is
+deliberately loose — shared CI runners are noisy; the recorded trajectory
+is the real measure.
+"""
+
+import hashlib
+import json
+import os
+import time
+
+from conftest import bench_config, emit, record_timing
+
+from repro.engine.kernels import BATCH_TRIALS_ENV
+from repro.experiments.figures import fig9
+from repro.telemetry.core import Tracer, use_tracer
+
+DATASET = "facebook"
+
+
+def _sha256_of(result):
+    samples = {series: curve for series, curve in sorted(result.samples.items())}
+    return hashlib.sha256(json.dumps(samples).encode("ascii")).hexdigest()
+
+
+def _run_arm(batch_trials):
+    config = bench_config(DATASET)
+    previous = os.environ.get(BATCH_TRIALS_ENV)
+    os.environ[BATCH_TRIALS_ENV] = batch_trials
+    try:
+        with use_tracer(Tracer()) as tracer:
+            start = time.perf_counter()
+            result = fig9(DATASET, config)
+            seconds = time.perf_counter() - start
+    finally:
+        if previous is None:
+            del os.environ[BATCH_TRIALS_ENV]
+        else:
+            os.environ[BATCH_TRIALS_ENV] = previous
+    return result, seconds, dict(tracer.counters)
+
+
+def test_batched_vs_scalar_kernels():
+    scalar_result, scalar_seconds, scalar_counters = _run_arm("0")
+    batched_result, batched_seconds, batched_counters = _run_arm("1")
+
+    # Each arm really exercised its own path.
+    assert scalar_counters.get("kernel.scalar", 0) > 0
+    assert "kernel.batched" not in scalar_counters
+    assert batched_counters.get("kernel.batched", 0) > 0
+
+    assert _sha256_of(batched_result) == _sha256_of(scalar_result), (
+        "batched kernels diverged from the scalar path"
+    )
+
+    speedup = scalar_seconds / batched_seconds if batched_seconds else float("inf")
+    emit(
+        "kernels_ab",
+        f"fig9/{DATASET} batched-vs-scalar kernel A/B "
+        f"({batched_counters.get('kernel.batched', 0)} batched tasks):\n"
+        f"  scalar  ({BATCH_TRIALS_ENV}=0)  {scalar_seconds:7.2f}s\n"
+        f"  batched ({BATCH_TRIALS_ENV}=1)  {batched_seconds:7.2f}s\n"
+        f"  speedup: {speedup:.2f}x",
+    )
+    record_timing("bench_kernels/scalar", scalar_seconds)
+    record_timing("bench_kernels/batched", batched_seconds)
+
+    # Generous bound only — the >=2x target is tracked in BENCH_timings.json.
+    assert batched_seconds < scalar_seconds * 1.2, (
+        f"batched kernels slower than scalar: "
+        f"{batched_seconds:.2f}s vs {scalar_seconds:.2f}s"
+    )

@@ -78,6 +78,34 @@ class AttackOutcome:
         return float(self.per_target_gain.mean())
 
 
+def metric_estimates(
+    protocol: GraphLDPProtocol,
+    metric: str,
+    before_reports,
+    after_reports,
+    targets: np.ndarray,
+    labels: Optional[np.ndarray] = None,
+) -> tuple:
+    """Before/after target estimates for one paired pair of report views.
+
+    The single definition of how a metric name maps onto the protocol's
+    estimator surface, shared by :func:`evaluate_attack` and the engine's
+    batched point kernel (``repro.engine.kernels``) so both paths produce
+    identical floats by construction.  Modularity is a global metric: its
+    estimates are length-1 arrays regardless of ``targets``.
+    """
+    if metric == "degree_centrality":
+        before = protocol.estimate_degree_centrality(before_reports)[targets]
+        after = protocol.estimate_degree_centrality(after_reports)[targets]
+    elif metric == "clustering_coefficient":
+        before = protocol.estimate_clustering_coefficient(before_reports)[targets]
+        after = protocol.estimate_clustering_coefficient(after_reports)[targets]
+    else:
+        before = np.array([protocol.estimate_modularity(before_reports, labels)])
+        after = np.array([protocol.estimate_modularity(after_reports, labels)])
+    return before, after
+
+
 def evaluate_attack(
     graph: Graph,
     protocol: GraphLDPProtocol,
@@ -131,15 +159,9 @@ def evaluate_attack(
         )
         after_reports = protocol.collect(graph, after_seed, overrides=overrides)
 
-    if metric == "degree_centrality":
-        before = protocol.estimate_degree_centrality(before_reports)[threat.targets]
-        after = protocol.estimate_degree_centrality(after_reports)[threat.targets]
-    elif metric == "clustering_coefficient":
-        before = protocol.estimate_clustering_coefficient(before_reports)[threat.targets]
-        after = protocol.estimate_clustering_coefficient(after_reports)[threat.targets]
-    else:
-        before = np.array([protocol.estimate_modularity(before_reports, labels)])
-        after = np.array([protocol.estimate_modularity(after_reports, labels)])
+    before, after = metric_estimates(
+        protocol, metric, before_reports, after_reports, threat.targets, labels
+    )
 
     # The estimators return float64 arrays already; fancy-indexing them by
     # the target ids yields fresh float64 arrays, so no defensive re-copy is

@@ -19,6 +19,9 @@ cache in front:
 * :mod:`repro.engine.executors` — serial and process-pool execution plus
   :func:`~repro.engine.executors.run_tasks` /
   :func:`~repro.engine.executors.run_batch`, the cache-aware orchestrators;
+* :mod:`repro.engine.kernels` — cross-trial batched execution: cache-miss
+  tasks group by figure-point identity and eligible groups run through the
+  stacked bit-plane kernels (``REPRO_BATCH_TRIALS=0`` forces per-trial);
 * :mod:`repro.engine.session` — :class:`~repro.engine.session.EngineSession`,
   the persistent pool + graph store + cache driving heterogeneous
   (multi-graph) batches.
@@ -42,6 +45,11 @@ from repro.engine.executors import (
     run_tasks,
 )
 from repro.engine.graph_store import GraphStore
+from repro.engine.kernels import (
+    batch_trials_enabled,
+    execute_tasks_grouped,
+    point_key,
+)
 from repro.engine.registry import ATTACKS, DEFENSES, PROTOCOLS, Registry
 from repro.engine.result_store import ShardedResultStore
 from repro.engine.session import EngineSession, session_scope
@@ -71,9 +79,12 @@ __all__ = [
     "EngineSession",
     "GraphStore",
     "ShardedResultStore",
+    "batch_trials_enabled",
     "cache_for",
     "execute_task",
+    "execute_tasks_grouped",
     "executor_for",
+    "point_key",
     "min_parallel_tasks",
     "run_batch",
     "run_tasks",

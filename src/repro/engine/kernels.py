@@ -1,0 +1,197 @@
+"""Cross-trial batched execution of same-point task groups.
+
+A compiled scenario batch lays its trials out innermost, so the cache-miss
+tasks an executor receives arrive as runs of trials that differ *only* in
+their derived seed — same graph, metric, attack, protocol, epsilon, beta,
+gamma, defense and labelling.  :func:`execute_tasks_grouped` exploits that:
+it splits a single-graph task list into those point groups and routes every
+eligible group through one batched kernel pass
+(:meth:`~repro.protocols.lfgdpr.LFGDPRProtocol.collect_paired_batch` over
+the stacked bit-planes of :class:`~repro.graph.bittensor.BitTensor`)
+instead of per-trial scalar evaluation.
+
+Bit-identity contract: the batched path replays, per task, the exact child
+RNG streams and the exact estimator arithmetic of
+:func:`repro.core.gain.evaluate_attack` — batching only reorders draws
+*across* independent streams and amortizes exact-integer kernel passes, so
+gains (and therefore golden results and cache entries) are unchanged.
+Scalar fallbacks keep everything else honest: singleton groups, defended
+tasks, protocols without a batch surface, unpaired collection mode, and
+``REPRO_BATCH_TRIALS=0``.
+
+Telemetry: each task gets its usual ``task.execute`` span (wrapping its
+per-trial threat/craft work) whatever path runs it, so span accounting is
+indistinguishable from the scalar executor; ``kernel.batched`` /
+``kernel.scalar`` counters record how many tasks each path served.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.gain import METRICS, metric_estimates, paired_collection_enabled
+from repro.core.threat_model import AttackerKnowledge, ThreatModel
+from repro.engine.registry import ATTACKS, PROTOCOLS
+from repro.engine.tasks import TrialTask
+from repro.graph.adjacency import Graph
+from repro.telemetry.core import current_tracer
+from repro.utils.rng import child_rng
+
+#: Env knob: set to ``"0"`` to disable cross-trial batching (scalar path).
+BATCH_TRIALS_ENV = "REPRO_BATCH_TRIALS"
+
+
+def batch_trials_enabled() -> bool:
+    """Whether same-point trial groups run through the batched kernels."""
+    return os.environ.get(BATCH_TRIALS_ENV, "1") != "0"
+
+
+def point_key(task: TrialTask) -> Tuple:
+    """The figure-point identity of a task: its identity minus the seed.
+
+    Tasks sharing a point key are trials of one sweep point — the unit the
+    batched kernels stack.  Mirrors ``IDENTITY_FIELDS`` so any field that
+    changes what a task computes also splits the batch.
+    """
+    return (
+        task.graph_key,
+        task.metric,
+        task.attack,
+        task.protocol,
+        task.epsilon,
+        task.beta,
+        task.gamma,
+        task.defense,
+        task.defense_args,
+        task.labels_key,
+    )
+
+
+def group_by_point(tasks: Sequence[TrialTask]) -> List[List[int]]:
+    """Task indices grouped by :func:`point_key`, input order preserved."""
+    groups: "OrderedDict[Tuple, List[int]]" = OrderedDict()
+    for index, task in enumerate(tasks):
+        groups.setdefault(point_key(task), []).append(index)
+    return list(groups.values())
+
+
+def _batch_protocol(tasks: Sequence[TrialTask]):
+    """The shared protocol instance for an eligible group, else ``None``.
+
+    Singletons gain nothing; defended tasks run extra protocol rounds the
+    batch surface does not model; unknown metrics and the legacy two-run
+    collection mode must keep their scalar semantics; and the protocol
+    itself must offer ``collect_paired_batch`` (LDPGen regenerates a
+    synthetic graph per run and has no stackable bit-plane form).  Protocol
+    construction is deterministic in epsilon and collection is stateless,
+    so one instance can serve every trial of the point.
+    """
+    first = tasks[0]
+    if (
+        len(tasks) < 2
+        or first.defense
+        or first.metric not in METRICS
+        or not batch_trials_enabled()
+        or not paired_collection_enabled()
+    ):
+        return None
+    try:
+        protocol = PROTOCOLS.create(first.protocol, epsilon=first.epsilon)
+    except KeyError:
+        return None
+    if getattr(protocol, "collect_paired_batch", None) is None:
+        return None
+    return protocol
+
+
+def execute_tasks_grouped(
+    tasks: Sequence[TrialTask],
+    graph: Graph,
+    labels: Optional[np.ndarray] = None,
+) -> List[float]:
+    """Gains of a single-graph task list, batching same-point trial groups.
+
+    The drop-in body of ``SerialExecutor.execute`` and the worker chunk
+    runner: output order matches input order, and every task is reported
+    under its own ``task.execute`` span exactly as the scalar loop does.
+    """
+    from repro.engine.executors import execute_task
+
+    tracer = current_tracer()
+    gains: List[Optional[float]] = [None] * len(tasks)
+    for indices in group_by_point(tasks):
+        group = [tasks[index] for index in indices]
+        protocol = _batch_protocol(group)
+        if protocol is not None:
+            tracer.counter("kernel.batched", len(group))
+            computed = _execute_point_batched(group, graph, protocol, labels)
+        else:
+            tracer.counter("kernel.scalar", len(group))
+            computed = [execute_task(task, graph, labels) for task in group]
+        for index, gain in zip(indices, computed):
+            gains[index] = gain
+    return [float(gain) for gain in gains]
+
+
+def _execute_point_batched(
+    tasks: Sequence[TrialTask],
+    graph: Graph,
+    protocol,
+    labels: Optional[np.ndarray],
+) -> List[float]:
+    """All trials of one point through one batched collection.
+
+    Phase one replays each task's scalar prologue under its own
+    ``task.execute`` span — threat sampling, attacker knowledge, crafting,
+    fake-report validation and the protocol-seed derivation, with the same
+    child streams as :func:`~repro.core.gain.evaluate_attack`.  Phase two
+    collects every trial at once; phase three estimates per trial through
+    the shared :func:`~repro.core.gain.metric_estimates` helper.
+    """
+    metric = tasks[0].metric
+    if metric == "modularity" and labels is None:
+        raise ValueError("modularity evaluation requires community labels")
+    tracer = current_tracer()
+    crafted = []
+    for task in tasks:
+        with tracer.span(
+            "task.execute",
+            figure=task.figure, series=task.series, attack=task.attack,
+            value=task.value, trial=task.trial,
+        ):
+            attack = ATTACKS.create(task.attack)
+            threat = ThreatModel.sample(
+                graph, task.beta, task.gamma, rng=child_rng(task.seed, "threat")
+            )
+            knowledge = AttackerKnowledge.from_protocol(protocol, graph)
+            overrides = attack.craft(
+                graph, threat, knowledge, rng=child_rng(task.seed, "attack-craft")
+            )
+            missing = np.setdiff1d(
+                threat.fake_users, np.fromiter(overrides.keys(), dtype=np.int64)
+            )
+            if missing.size:
+                raise ValueError(
+                    f"attack left fake users without reports: {missing.tolist()}"
+                )
+            protocol_seed = int(
+                child_rng(task.seed, "protocol-run").integers(2**63 - 1)
+            )
+            crafted.append((threat, overrides, protocol_seed))
+
+    runs = protocol.collect_paired_batch(
+        graph, [seed for _, _, seed in crafted], metric=metric, labels=labels
+    )
+    gains = []
+    for (threat, overrides, _), run in zip(crafted, runs):
+        before_reports = run.before
+        after_reports = run.after(overrides)
+        before, after = metric_estimates(
+            protocol, metric, before_reports, after_reports, threat.targets, labels
+        )
+        gains.append(float(np.abs(after - before).sum()))
+    return gains

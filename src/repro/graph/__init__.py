@@ -2,6 +2,7 @@
 
 from repro.graph.adjacency import Graph
 from repro.graph.bitmatrix import BitMatrix, density_threshold, should_use_packed
+from repro.graph.bittensor import BitTensor
 from repro.graph.datasets import DATASETS, DatasetSpec, load_dataset
 from repro.graph.generators import (
     barabasi_albert_graph,
@@ -27,6 +28,7 @@ from repro.graph.metrics import (
 __all__ = [
     "Graph",
     "BitMatrix",
+    "BitTensor",
     "density_threshold",
     "should_use_packed",
     "DATASETS",

@@ -85,6 +85,115 @@ def _row_popcounts(words: np.ndarray) -> np.ndarray:
     return _BYTE_POPCOUNT[words.view(np.uint8)].sum(axis=-1, dtype=np.int64)
 
 
+#: Cached ``(word_index, bit_shift)`` pairs per node count — every triangle
+#: or touched-row sweep needs them and they only depend on ``n``.
+_BIT_INDEX_CACHE: dict = {}
+_BIT_INDEX_CACHE_LIMIT = 8
+
+
+def bit_index_arrays(num_nodes: int):
+    """``(word_index, bit_shift)`` for extracting bit ``j`` of a packed row.
+
+    Bit ``j`` lives in word ``j >> 6`` at position ``j & 63``; the arrays are
+    read-only and cached per ``n`` so repeated sweeps (one per node per
+    triangle pass, one per trial in the batched kernels) stop reallocating
+    them.
+    """
+    cached = _BIT_INDEX_CACHE.get(num_nodes)
+    if cached is None:
+        positions = np.arange(num_nodes, dtype=np.int64)
+        word_index = positions >> 6
+        bit_shift = (positions & 63).astype(np.uint64)
+        word_index.setflags(write=False)
+        bit_shift.setflags(write=False)
+        cached = (word_index, bit_shift)
+        _BIT_INDEX_CACHE[num_nodes] = cached
+        while len(_BIT_INDEX_CACHE) > _BIT_INDEX_CACHE_LIMIT:
+            _BIT_INDEX_CACHE.pop(next(iter(_BIT_INDEX_CACHE)))
+    return cached
+
+
+def accumulate_bits(positions: np.ndarray, bit: np.ndarray, size: int) -> np.ndarray:
+    """OR ``1 << bit`` into a zeroed uint64 array of length ``size``.
+
+    Requires every ``(position, bit)`` pair to be unique: then summing the
+    per-word bit values is an exact OR, and the sum runs as two buffered
+    :func:`np.bincount` passes — far faster than the unbuffered
+    ``np.bitwise_or.at`` ufunc for near-dense sets.  bincount accumulates in
+    float64, hence the split into two 32-bit halves (every partial sum stays
+    < 2^32, exactly representable).
+    """
+    out = np.zeros(size, dtype=np.uint64)
+    low = bit < 32
+    if low.any():
+        weights = (1 << bit[low]).astype(np.float64)
+        out |= np.bincount(positions[low], weights=weights, minlength=size).astype(
+            np.uint64
+        )
+    high = ~low
+    if high.any():
+        weights = (1 << (bit[high] - 32)).astype(np.float64)
+        out |= np.bincount(positions[high], weights=weights, minlength=size).astype(
+            np.uint64
+        ) << np.uint64(32)
+    return out
+
+
+def _word_popcounts(words_1d: np.ndarray) -> np.ndarray:
+    """Set bits of each element of a 1-D uint64 array (values <= 64)."""
+    if _HAVE_BITWISE_COUNT:
+        return np.bitwise_count(words_1d)
+    return _BYTE_POPCOUNT[words_1d.view(np.uint8)].reshape(words_1d.size, 8).sum(
+        axis=-1, dtype=np.uint8
+    )
+
+
+def _gather_triangles(
+    flat_rows: np.ndarray,
+    edge_rows: np.ndarray,
+    edge_cols: np.ndarray,
+    num_nodes: int,
+) -> np.ndarray:
+    """Per-node triangle counts from one edge-gather/AND/popcount sweep.
+
+    ``flat_rows`` is a ``(rows, words)`` packed matrix and the edge arrays
+    index into its first axis (for the trial-stacked tensor the node ids
+    carry a per-trial row offset).  Each edge contributes
+    ``popcount(row_u & row_v)`` — its common-neighbour count — to both
+    endpoints; every incident triangle of a node is hit exactly twice, once
+    per far endpoint of its opposite edge, so a halving yields exact counts.
+
+    The sweep runs word-column-major over a transposed copy of the matrix:
+    gathering one word column per endpoint keeps both the gather sources
+    and the popcount accumulation contiguous, which beats the row-major
+    ``(edges, words)`` gather by ~2x (the short last axis defeats the
+    vectorised reduction there).  Popcount partial sums stay within the
+    accumulator dtype (``<= 64 * words ~ n``) and the per-chunk bincounts
+    accumulate them as float64 — exact, every value far below 2^53.
+    """
+    counts = np.zeros(num_nodes, dtype=np.int64)
+    if edge_rows.size == 0:
+        return counts
+    num_words = flat_rows.shape[1]
+    columns = np.ascontiguousarray(flat_rows.T)
+    acc_dtype = np.uint16 if num_words << 6 <= 0xFFFF else np.uint32
+    chunk = max(1, _CHUNK_WORDS // max(1, num_words))
+    for start in range(0, edge_rows.size, chunk):
+        block_u = edge_rows[start : start + chunk]
+        block_v = edge_cols[start : start + chunk]
+        acc = np.zeros(block_u.size, dtype=acc_dtype)
+        for word in range(num_words):
+            acc += _word_popcounts(columns[word, block_u] & columns[word, block_v])
+        pops = acc.astype(np.float64)
+        counts += np.bincount(block_u, weights=pops, minlength=num_nodes).astype(
+            np.int64
+        )
+        counts += np.bincount(block_v, weights=pops, minlength=num_nodes).astype(
+            np.int64
+        )
+    return counts // 2
+
+
 def _masked_popcount_sum(matrix: np.ndarray, row_ids: np.ndarray, mask: np.ndarray) -> int:
     """``sum(popcount(matrix[i] & mask) for i in row_ids)``, chunked.
 
@@ -145,23 +254,8 @@ class BitMatrix:
         flat = sym_rows * words + (sym_cols >> 6)
         bit = sym_cols & 63
         # Each (row, bit) position appears at most once in a simple graph, so
-        # summing per-word bit values is an exact OR.  bincount accumulates in
-        # float64, hence the split into two 32-bit halves (every partial sum
-        # stays < 2^32, exactly representable) — this is much faster than the
-        # unbuffered np.bitwise_or.at ufunc for the near-dense edge sets here.
-        matrix = np.zeros(n * words, dtype=np.uint64)
-        low = bit < 32
-        if low.any():
-            weights = (1 << bit[low]).astype(np.float64)
-            matrix |= np.bincount(flat[low], weights=weights, minlength=n * words).astype(
-                np.uint64
-            )
-        high = ~low
-        if high.any():
-            weights = (1 << (bit[high] - 32)).astype(np.float64)
-            matrix |= np.bincount(flat[high], weights=weights, minlength=n * words).astype(
-                np.uint64
-            ) << np.uint64(32)
+        # the split-bincount accumulation is an exact OR.
+        matrix = accumulate_bits(flat, bit, n * words)
         return cls(n, matrix.reshape(n, words))
 
     # ------------------------------------------------------------------
@@ -183,30 +277,54 @@ class BitMatrix:
             return 0.0
         return self.num_edges / pairs
 
-    def triangles_per_node(self) -> np.ndarray:
-        """Number of triangles incident to each node.
+    def edge_endpoints(self) -> tuple:
+        """Edges as aligned ``(rows, cols)`` arrays with ``rows < cols``.
 
-        For node ``i``, ``sum_{j in N(i)} |N(i) & N(j)|`` counts every
-        incident triangle twice (once per far endpoint), so one row-AND +
-        popcount pass over the neighbour rows and a halving yield the exact
-        count: ``O(2 E ceil(n/64))`` word operations total.
+        Decoded from the packed bits in row blocks (endian-independent
+        ``word >> position`` extraction), so callers that do not already
+        hold the edge list can still drive the edge-gather kernels.
         """
         n = self.num_nodes
-        counts = np.zeros(n, dtype=np.int64)
+        empty = np.empty(0, dtype=np.int64)
         if n == 0:
-            return counts
-        matrix = self.rows
-        # Endian-independent bit extraction: word >> position, mask 1.
-        word_index = np.arange(n, dtype=np.int64) >> 6
-        bit_shift = (np.arange(n, dtype=np.int64) & 63).astype(np.uint64)
+            return empty, empty
+        word_index, bit_shift = bit_index_arrays(n)
         one = np.uint64(1)
-        for node in range(n):
-            row = matrix[node]
-            present = (row[word_index] >> bit_shift) & one
-            neighbors = np.nonzero(present)[0]
-            if neighbors.size:
-                counts[node] = _masked_popcount_sum(matrix, neighbors, row) // 2
-        return counts
+        block = max(1, _CHUNK_WORDS // max(1, n))
+        us, vs = [], []
+        for start in range(0, n, block):
+            stop = min(n, start + block)
+            present = (self.rows[start:stop, word_index] >> bit_shift) & one
+            block_rows, block_cols = np.nonzero(present)
+            keep = block_cols > block_rows + start
+            us.append(block_rows[keep] + start)
+            vs.append(block_cols[keep])
+        if not us:
+            return empty, empty
+        return np.concatenate(us), np.concatenate(vs)
+
+    def triangles_per_node(self, edges: tuple | None = None) -> np.ndarray:
+        """Number of triangles incident to each node.
+
+        Edge-gather formulation: for every edge ``{u, v}``,
+        ``popcount(row_u & row_v)`` is the number of common neighbours —
+        triangles through that edge — and accumulating it onto both
+        endpoints counts each node's incident triangles exactly twice
+        (once per far endpoint of the opposite edge), so a halving yields
+        the exact count in ``O(E ceil(n/64))`` word operations with no
+        per-node Python loop.  ``edges`` lets callers that already hold the
+        decoded ``(rows, cols)`` arrays skip re-extracting them from the
+        packed bits.
+        """
+        n = self.num_nodes
+        if n == 0:
+            return np.zeros(n, dtype=np.int64)
+        if edges is None:
+            edge_rows, edge_cols = self.edge_endpoints()
+        else:
+            edge_rows = np.asarray(edges[0], dtype=np.int64)
+            edge_cols = np.asarray(edges[1], dtype=np.int64)
+        return _gather_triangles(self.rows, edge_rows, edge_cols, n)
 
     def with_edits(
         self,
@@ -221,27 +339,41 @@ class BitMatrix:
         attack override: instead of re-packing all ``E`` edges, the before
         matrix's rows are copied once (a flat memcpy) and only the changed
         pairs — a ``~beta`` fraction under the paper's threat model — are
-        toggled, in both orientations.  Dropping a missing edge or adding a
-        present one is idempotent, but callers normally pass the *net*
-        added/removed sets so the two never overlap.
+        toggled, in both orientations.  Each edit set must be duplicate-free
+        (the callers pass decoded *net* added/removed pair codes, which are
+        sorted and unique by construction): the toggles accumulate through
+        the same split-bincount trick as :meth:`from_edge_arrays`, where a
+        repeated pair would carry into the neighbouring bit.
         """
-        rows = self.rows.copy()
-        one = np.uint64(1)
+        flat_rows = self.rows.copy().reshape(-1)
         drop_rows = np.asarray(drop_rows, dtype=np.int64)
         add_rows = np.asarray(add_rows, dtype=np.int64)
         if drop_rows.size:
-            sym_r = np.concatenate([drop_rows, np.asarray(drop_cols, dtype=np.int64)])
-            sym_c = np.concatenate([np.asarray(drop_cols, dtype=np.int64), drop_rows])
-            np.bitwise_and.at(
-                rows, (sym_r, sym_c >> 6), ~(one << (sym_c & 63).astype(np.uint64))
-            )
+            self._toggle_bits(flat_rows, drop_rows, drop_cols, clear=True)
         if add_rows.size:
-            sym_r = np.concatenate([add_rows, np.asarray(add_cols, dtype=np.int64)])
-            sym_c = np.concatenate([np.asarray(add_cols, dtype=np.int64), add_rows])
-            np.bitwise_or.at(
-                rows, (sym_r, sym_c >> 6), one << (sym_c & 63).astype(np.uint64)
-            )
-        return BitMatrix(self.num_nodes, rows)
+            self._toggle_bits(flat_rows, add_rows, add_cols, clear=False)
+        return BitMatrix(self.num_nodes, flat_rows.reshape(self.rows.shape))
+
+    def _toggle_bits(
+        self, flat_rows: np.ndarray, edit_rows: np.ndarray, edit_cols: np.ndarray,
+        clear: bool,
+    ) -> None:
+        """Set or clear the bits of duplicate-free edits, both orientations.
+
+        The touched flat word positions are compacted with ``np.unique`` so
+        the split-bincount accumulator builds an edit-sized mask instead of a
+        matrix-sized one, then applied with one fancy OR / AND-NOT store.
+        """
+        edit_cols = np.asarray(edit_cols, dtype=np.int64)
+        sym_r = np.concatenate([edit_rows, edit_cols])
+        sym_c = np.concatenate([edit_cols, edit_rows])
+        flat = sym_r * self.num_words + (sym_c >> 6)
+        unique, inverse = np.unique(flat, return_inverse=True)
+        mask = accumulate_bits(inverse, sym_c & 63, unique.size)
+        if clear:
+            flat_rows[unique] &= ~mask
+        else:
+            flat_rows[unique] |= mask
 
     def triangles_touching(self, nodes: np.ndarray) -> np.ndarray:
         """Per-node count of triangles with at least one vertex in ``nodes``.
@@ -268,8 +400,7 @@ class BitMatrix:
         one = np.uint64(1)
         mask = np.zeros(self.num_words, dtype=np.uint64)
         np.bitwise_or.at(mask, nodes >> 6, one << (nodes & 63).astype(np.uint64))
-        word_index = np.arange(n, dtype=np.int64) >> 6
-        bit_shift = (np.arange(n, dtype=np.int64) & 63).astype(np.uint64)
+        word_index, bit_shift = bit_index_arrays(n)
         # Ordered qualifying-pair counts for nodes outside the touched set.
         term = np.zeros(n, dtype=np.int64)
         chunk = max(1, _CHUNK_WORDS // max(self.num_words, 1))

@@ -7,6 +7,8 @@ generators return :class:`repro.graph.Graph` with integer node labels.
 
 from __future__ import annotations
 
+import random
+
 import networkx as nx
 
 from repro.graph.adjacency import Graph
@@ -17,6 +19,66 @@ from repro.utils.validation import check_positive, check_probability
 def _nx_seed(rng: RngLike) -> int:
     """Derive an integer seed for networkx from our RngLike convention."""
     return int(ensure_rng(rng).integers(0, 2**31 - 1))
+
+
+def _holme_kim_edges(n: int, m: int, p: float, rand: random.Random) -> list:
+    """Edge list of ``nx.powerlaw_cluster_graph(n, m, p, seed)``, replayed.
+
+    A draw-for-draw replica of the networkx Holme–Kim loop over plain
+    dict-of-dicts adjacency: the same ``rand.choice`` / ``rand.random``
+    calls in the same order, the same insertion-ordered neighbour
+    iteration, and the same ``set.pop`` target order, so the produced edge
+    set is identical for any seed.  Inlining the membership tests removes
+    the per-edge ``Graph.has_edge`` method dispatch that dominates
+    surrogate generation for high-degree datasets (~6M calls for the
+    G+ surrogate) — generation only, results unchanged.
+    """
+    adjacency: dict = {node: {} for node in range(m)}
+    edges: list = []
+    repeated_nodes = list(range(m))
+    source = m
+    while source < n:
+        # _random_subset: draw until m unique targets accumulate.  The pop
+        # order of the resulting set matches networkx exactly — CPython set
+        # iteration is deterministic in the inserted values.
+        targets: set = set()
+        while len(targets) < m:
+            targets.add(rand.choice(repeated_nodes))
+        source_adjacency = adjacency.setdefault(source, {})
+        target = targets.pop()
+        if target not in source_adjacency:
+            source_adjacency[target] = None
+            adjacency.setdefault(target, {})[source] = None
+            edges.append((source, target))
+        repeated_nodes.append(target)
+        count = 1
+        while count < m:
+            if rand.random() < p:  # clustering step: try to close a triangle
+                neighborhood = [
+                    nbr
+                    for nbr in adjacency[target]
+                    if nbr not in source_adjacency and nbr != source
+                ]
+                if neighborhood:
+                    nbr = rand.choice(neighborhood)
+                    source_adjacency[nbr] = None
+                    adjacency[nbr][source] = None
+                    edges.append((source, nbr))
+                    repeated_nodes.append(nbr)
+                    count += 1
+                    continue
+            # preferential attachment step (may re-add an existing edge,
+            # which networkx silently keeps — the repeat weight still lands)
+            target = targets.pop()
+            if target not in source_adjacency:
+                source_adjacency[target] = None
+                adjacency.setdefault(target, {})[source] = None
+                edges.append((source, target))
+            repeated_nodes.append(target)
+            count += 1
+        repeated_nodes.extend([source] * m)
+        source += 1
+    return edges
 
 
 def erdos_renyi_graph(num_nodes: int, edge_probability: float, rng: RngLike = None) -> Graph:
@@ -54,10 +116,18 @@ def powerlaw_cluster_graph(
     check_positive(num_nodes, "num_nodes")
     check_positive(edges_per_node, "edges_per_node")
     check_probability(triangle_probability, "triangle_probability")
-    nx_graph = nx.powerlaw_cluster_graph(
-        num_nodes, edges_per_node, triangle_probability, seed=_nx_seed(rng)
+    if num_nodes < edges_per_node:
+        raise ValueError(
+            f"num_nodes must be at least edges_per_node "
+            f"({num_nodes} < {edges_per_node})"
+        )
+    edges = _holme_kim_edges(
+        num_nodes,
+        edges_per_node,
+        triangle_probability,
+        random.Random(_nx_seed(rng)),
     )
-    return Graph.from_networkx(nx_graph)
+    return Graph(num_nodes, edges)
 
 
 def surrogate_social_graph(

@@ -94,8 +94,11 @@ def triangles_per_node(graph: Graph) -> np.ndarray:
 
 
 def _triangles_packed(graph: Graph) -> np.ndarray:
-    """Packed backend: row-AND + popcount over neighbour rows."""
-    return BitMatrix.from_graph(graph).triangles_per_node()
+    """Packed backend: edge-gather row-AND + popcount sweep."""
+    edges = graph.edge_arrays()
+    return BitMatrix.from_edge_arrays(graph.num_nodes, *edges).triangles_per_node(
+        edges=edges
+    )
 
 
 def _triangles_sparse(graph: Graph) -> np.ndarray:
@@ -120,9 +123,10 @@ def triangles_per_node_cached(graph: Graph, cache: MutableMapping) -> np.ndarray
     triangles = cache.get("triangles")
     if triangles is None:
         if should_use_packed(graph):
-            packed = BitMatrix.from_graph(graph)
+            edges = graph.edge_arrays()
+            packed = BitMatrix.from_edge_arrays(graph.num_nodes, *edges)
             cache["bitmatrix"] = packed
-            triangles = packed.triangles_per_node()
+            triangles = packed.triangles_per_node(edges=edges)
         else:
             triangles = triangles_per_node(graph)
         cache["triangles"] = triangles

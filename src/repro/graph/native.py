@@ -1,0 +1,128 @@
+"""Optional numba-accelerated inner loops for the batched bit-plane kernels.
+
+The batched triangle sweep in :mod:`repro.graph.bittensor` is a pure-numpy
+block algorithm; on machines with numba installed the popcount/AND inner
+loop can instead run as one fused jitted pass with no block temporaries.
+Both paths compute identical exact integers — the numba kernel is a
+word-for-word transcription of the numpy reduction (SWAR popcount, same
+``// 2`` halving) — so the dispatch never changes a result.
+
+Dispatch is controlled by ``REPRO_KERNELS``:
+
+* ``auto`` (default) — use numba when importable, else pure numpy;
+* ``numpy`` — force the pure-numpy path even when numba is present;
+* ``numba`` — require numba; raises at dispatch time when it is missing,
+  so a CI job that *intends* to exercise the jitted path cannot silently
+  fall back.
+
+numba is an optional dependency: nothing in this module imports it at
+module load, and every public function degrades to ``None``/``False``
+answers when it is absent.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional
+
+#: Environment variable selecting the kernel backend (auto | numpy | numba).
+KERNELS_ENV = "REPRO_KERNELS"
+
+_VALID_MODES = ("auto", "numpy", "numba")
+
+#: Lazily resolved import probe: None = not yet probed.
+_NUMBA_AVAILABLE: Optional[bool] = None
+
+#: Lazily compiled jitted kernel (one compilation per process).
+_TRIANGLE_KERNEL: Optional[Callable] = None
+
+
+def kernels_mode() -> str:
+    """The configured backend mode, validated against the known values."""
+    mode = os.environ.get(KERNELS_ENV, "auto").strip().lower() or "auto"
+    if mode not in _VALID_MODES:
+        raise ValueError(
+            f"{KERNELS_ENV}={mode!r} is not one of {_VALID_MODES}"
+        )
+    return mode
+
+
+def numba_available() -> bool:
+    """Whether numba can be imported (probed once per process)."""
+    global _NUMBA_AVAILABLE
+    if _NUMBA_AVAILABLE is None:
+        try:
+            import numba  # noqa: F401
+
+            _NUMBA_AVAILABLE = True
+        except ImportError:
+            _NUMBA_AVAILABLE = False
+    return _NUMBA_AVAILABLE
+
+
+def use_numba() -> bool:
+    """Whether the jitted kernels should serve the current process.
+
+    ``numba`` mode is strict so a misconfigured environment fails loudly
+    instead of silently benchmarking the wrong backend.
+    """
+    mode = kernels_mode()
+    if mode == "numpy":
+        return False
+    if mode == "numba":
+        if not numba_available():
+            raise RuntimeError(
+                f"{KERNELS_ENV}=numba but numba is not importable; "
+                "install numba or switch to auto/numpy"
+            )
+        return True
+    return numba_available()
+
+
+def _build_triangle_kernel() -> Callable:
+    """Compile the fused per-plane triangle sweep (called at most once)."""
+    import numba
+    import numpy as np
+
+    @numba.njit(cache=False, fastmath=False)
+    def kernel(planes, word_index, bit_shift):  # pragma: no cover - jitted
+        trials, n, words = planes.shape
+        counts = np.zeros((trials, n), dtype=np.int64)
+        m1 = np.uint64(0x5555555555555555)
+        m2 = np.uint64(0x3333333333333333)
+        m4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+        h01 = np.uint64(0x0101010101010101)
+        one = np.uint64(1)
+        for t in range(trials):
+            plane = planes[t]
+            for i in range(n):
+                row = plane[i]
+                total = 0
+                for j in range(n):
+                    if (row[word_index[j]] >> bit_shift[j]) & one:
+                        other = plane[j]
+                        for w in range(words):
+                            x = row[w] & other[w]
+                            # SWAR popcount: exact for all uint64 values.
+                            x -= (x >> np.uint64(1)) & m1
+                            x = (x & m2) + ((x >> np.uint64(2)) & m2)
+                            x = (x + (x >> np.uint64(4))) & m4
+                            total += int((x * h01) >> np.uint64(56))
+                counts[t, i] = total // 2
+        return counts
+
+    return kernel
+
+
+def triangle_kernel() -> Optional[Callable]:
+    """The jitted ``(planes, word_index, bit_shift) -> counts`` sweep.
+
+    Returns ``None`` when the numpy path should serve (mode/availability);
+    the caller falls back to its block-vectorized implementation.
+    """
+    if not use_numba():
+        return None
+    global _TRIANGLE_KERNEL
+    if _TRIANGLE_KERNEL is None:
+        _TRIANGLE_KERNEL = _build_triangle_kernel()
+    return _TRIANGLE_KERNEL

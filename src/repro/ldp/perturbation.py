@@ -18,6 +18,8 @@ calibration formulas.
 
 from __future__ import annotations
 
+from typing import List, Sequence
+
 import numpy as np
 
 from repro.graph.adjacency import Graph
@@ -51,6 +53,38 @@ def perturb_graph(graph: Graph, epsilon: float, rng: RngLike = None) -> Graph:
     # near-dense edge set the previous construction paid.
     merged = merge_sorted_disjoint(survivors, np.sort(flipped))
     return Graph.from_codes(n, merged, assume_sorted_unique=True)
+
+
+def perturb_graph_batch(
+    graph: Graph, epsilon: float, rngs: Sequence[RngLike]
+) -> List[Graph]:
+    """Randomized response for every trial of one point, in one pass.
+
+    ``rngs`` carries one independent stream per trial (the engine derives
+    them with the exact same ``child_rng`` keys as the per-trial path).
+    Plane ``t`` of the result is **bit-identical** to
+    ``perturb_graph(graph, epsilon, rngs[t])``: each stream makes the same
+    draws in the same order — the batching hoists only the draw-free shared
+    setup (edge codes, the keep probability, the non-edge count) out of the
+    trial loop.  Because the streams are independent, evaluating them
+    back-to-back instead of interleaved with other per-trial work is a pure
+    reordering with no distributional or numerical effect.
+    """
+    keep = rr_keep_probability(epsilon)
+    n = graph.num_nodes
+    codes = graph.edge_codes
+    non_edges = pair_count(n) - codes.size
+    perturbed: List[Graph] = []
+    for rng in rngs:
+        generator = ensure_rng(rng)
+        survivors = codes[generator.random(codes.size) < keep]
+        flip_count = (
+            int(generator.binomial(non_edges, 1.0 - keep)) if non_edges > 0 else 0
+        )
+        flipped = sample_pairs_excluding(n, flip_count, codes, generator)
+        merged = merge_sorted_disjoint(survivors, np.sort(flipped))
+        perturbed.append(Graph.from_codes(n, merged, assume_sorted_unique=True))
+    return perturbed
 
 
 def expected_perturbed_degree(degree: float, num_nodes: int, epsilon: float) -> float:

@@ -60,6 +60,31 @@ class TestPowerlawCluster:
         b = powerlaw_cluster_graph(100, 3, 0.5, rng=2)
         assert a == b
 
+    @pytest.mark.parametrize("n,m,p", [
+        (10, 1, 0.0), (30, 2, 0.3), (100, 3, 0.5), (80, 10, 0.9), (50, 49, 0.5),
+    ])
+    @pytest.mark.parametrize("seed", [0, 1, 7, 12345])
+    def test_replica_matches_networkx_exactly(self, n, m, p, seed):
+        """The inlined Holme–Kim loop is a draw-for-draw replica of
+        ``nx.powerlaw_cluster_graph`` — identical edge *sets* for any seed,
+        so surrogate graphs (and everything cached downstream) are unchanged
+        by the generator inlining."""
+        import networkx as nx
+
+        from repro.graph.generators import _holme_kim_edges
+        import random
+
+        edges = _holme_kim_edges(n, m, p, random.Random(seed))
+        reference = nx.powerlaw_cluster_graph(n, m, p, seed=seed)
+        assert {frozenset(e) for e in edges} == {
+            frozenset(e) for e in reference.edges()
+        }
+        assert len(edges) == reference.number_of_edges()
+
+    def test_rejects_too_few_nodes(self):
+        with pytest.raises(ValueError, match="at least"):
+            powerlaw_cluster_graph(3, 5, 0.5, rng=0)
+
 
 class TestSurrogateSocialGraph:
     def test_average_degree_close_to_target(self):

@@ -7,12 +7,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.utils import sparse
 from repro.utils.sparse import (
     decode_pairs,
     encode_pairs,
     merge_sorted_disjoint,
     pair_count,
     sample_pairs_excluding,
+    sorted_unique,
 )
 
 
@@ -178,6 +180,54 @@ class TestSamplePairsExcluding:
         assert out.size == total // 6
         assert adaptive.integer_calls <= 3
         assert adaptive.integer_calls < flat.integer_calls
+
+
+class TestMemberTableDispatch:
+    def test_both_rejection_paths_sample_identically(self):
+        """The bool-table path and the binary-search fallback must reject the
+        same draws, leaving the rng stream — and the output — identical."""
+        cases = [
+            (60, 300, np.arange(0, 800, 3, dtype=np.int64), 0),
+            (200, 9000, np.empty(0, dtype=np.int64), 2),
+            (120, 5000, np.arange(0, 2000, 2, dtype=np.int64), 3),
+        ]
+        for n, count, forbidden, seed in cases:
+            with_table = sample_pairs_excluding(
+                n, count, forbidden, np.random.default_rng(seed)
+            )
+            original = sparse._MEMBER_TABLE_MAX_CODES
+            sparse._MEMBER_TABLE_MAX_CODES = 0
+            try:
+                without_table = sample_pairs_excluding(
+                    n, count, forbidden, np.random.default_rng(seed)
+                )
+            finally:
+                sparse._MEMBER_TABLE_MAX_CODES = original
+            assert np.array_equal(with_table, without_table)
+
+
+class TestSortedUnique:
+    def test_matches_np_unique(self):
+        rng = np.random.default_rng(0)
+        for size in (1, 2, 17, 1000):
+            values = rng.integers(0, max(1, size // 2), size=size, dtype=np.int64)
+            assert np.array_equal(sorted_unique(values.copy()), np.unique(values))
+
+    def test_empty(self):
+        assert sorted_unique(np.empty(0, dtype=np.int64)).size == 0
+
+    def test_already_unique_sorted(self):
+        values = np.array([1, 3, 9], dtype=np.int64)
+        assert np.array_equal(sorted_unique(values.copy()), values)
+
+    @given(data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_property(self, data):
+        values = np.array(
+            data.draw(st.lists(st.integers(min_value=-100, max_value=100))),
+            dtype=np.int64,
+        )
+        assert np.array_equal(sorted_unique(values.copy()), np.unique(values))
 
 
 class TestMergeSortedDisjoint:
