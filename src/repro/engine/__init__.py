@@ -24,7 +24,11 @@ cache in front:
   stacked bit-plane kernels (``REPRO_BATCH_TRIALS=0`` forces per-trial);
 * :mod:`repro.engine.session` — :class:`~repro.engine.session.EngineSession`,
   the persistent pool + graph store + cache driving heterogeneous
-  (multi-graph) batches.
+  (multi-graph) batches;
+* :mod:`repro.engine.distributed` — lease-coordinated fleets: independent
+  worker processes (one host or many sharing a cache root) claim
+  shard ranges of a batch, append results to the shared store, and any
+  interrupted sweep resumes bit-identically from what survived.
 
 Determinism is the design invariant: every task carries its own derived
 seed, so the result of a task is a pure function of its spec and the graph.
@@ -33,9 +37,17 @@ indistinguishable from recomputed ones.
 """
 
 from repro.engine.cache import CACHE_VERSION, NullCache, ResultCache, default_cache_dir
+from repro.engine.distributed import (
+    DistributedExecutor,
+    LeaseDirectory,
+    default_worker_id,
+    shard_ranges,
+)
 from repro.engine.executors import (
+    ChunkTimeoutError,
     Executor,
     ParallelExecutor,
+    PoolManager,
     SerialExecutor,
     cache_for,
     execute_task,
@@ -73,9 +85,15 @@ __all__ = [
     "NullCache",
     "ResultCache",
     "default_cache_dir",
+    "ChunkTimeoutError",
+    "DistributedExecutor",
     "Executor",
+    "LeaseDirectory",
+    "PoolManager",
     "SerialExecutor",
     "ParallelExecutor",
+    "default_worker_id",
+    "shard_ranges",
     "EngineSession",
     "GraphStore",
     "ShardedResultStore",

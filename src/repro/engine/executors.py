@@ -37,9 +37,12 @@ from __future__ import annotations
 
 import abc
 import os
+import time
 from collections import OrderedDict
+from concurrent.futures import FIRST_COMPLETED
 from concurrent.futures import ProcessPoolExecutor as _ProcessPool
-from concurrent.futures import as_completed
+from concurrent.futures import wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -70,6 +73,79 @@ CacheLike = Union[ResultCache, ShardedResultStore, NullCache]
 #: threshold run in-process (pool startup would dominate).  Default 2 keeps
 #: the historical behaviour of parallelising everything but singletons.
 MIN_PARALLEL_TASKS_ENV = "REPRO_MIN_PARALLEL_TASKS"
+
+#: Re-dispatch rounds a fan-out survives before giving up: a crashed worker
+#: (``BrokenProcessPool``) or a stalled chunk (``ChunkTimeoutError``) costs
+#: one round; only the chunks that never delivered results are resubmitted.
+DEFAULT_MAX_RETRIES = 2
+
+#: Base of the linear backoff between re-dispatch rounds.
+RETRY_BACKOFF_SECONDS = 0.05
+
+
+class ChunkTimeoutError(RuntimeError):
+    """No worker chunk made progress within the configured deadline."""
+
+
+def _terminate_pool(pool: _ProcessPool) -> None:
+    """Best-effort hard stop of a (possibly hung or broken) process pool.
+
+    Workers are killed first so ``shutdown`` never blocks on a process that
+    stopped draining its call queue; a pool whose workers already died (the
+    ``BrokenProcessPool`` case) reduces to a plain shutdown.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.kill()
+        except Exception:  # pragma: no cover - already reaped
+            pass
+    try:
+        pool.shutdown(wait=True, cancel_futures=True)
+    except Exception:  # pragma: no cover - interpreter teardown races
+        pass
+
+
+class PoolManager:
+    """Owner of a lazily created process pool that survives worker crashes.
+
+    The manager is the single pool-lifecycle authority shared by
+    :class:`~repro.engine.session.EngineSession` (one pool per session) and
+    :class:`~repro.engine.distributed.DistributedExecutor` (one pool per
+    drive).  :meth:`acquire` creates the pool on first use, reuses it after
+    — and transparently replaces a pool whose workers died, so one crashed
+    batch can never poison later ones.
+    """
+
+    def __init__(self, jobs: int):
+        self.jobs = int(jobs)
+        self._pool: Optional[_ProcessPool] = None
+
+    def acquire(self) -> _ProcessPool:
+        """The live pool, created on first use and replaced after breakage."""
+        tracer = current_tracer()
+        if self._pool is not None and getattr(self._pool, "_broken", False):
+            self.discard()
+            tracer.counter("executor.pool_recreate")
+        if self._pool is None:
+            with tracer.span("pool.create", jobs=self.jobs):
+                self._pool = _ProcessPool(max_workers=self.jobs)
+            tracer.counter("pool.create")
+        else:
+            tracer.counter("pool.reuse")
+        return self._pool
+
+    def discard(self) -> None:
+        """Hard-stop the current pool (if any); the next acquire recreates."""
+        if self._pool is not None:
+            _terminate_pool(self._pool)
+            self._pool = None
+
+    def shutdown(self) -> None:
+        """Orderly shutdown at end of life (no kill; workers finish)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
 
 
 def min_parallel_tasks() -> int:
@@ -334,6 +410,14 @@ class ParallelExecutor(Executor):
     :func:`min_parallel_tasks` (``REPRO_MIN_PARALLEL_TASKS``) run in-process
     instead of paying pool startup.
 
+    Fan-outs are fault-tolerant: a crashed worker (OOM kill, segfault —
+    surfacing as :class:`BrokenProcessPool`) or a stalled chunk (no chunk
+    finished within ``task_timeout`` seconds) triggers pool replacement and
+    a bounded re-dispatch of **only** the chunks that never delivered
+    results; chunks already collected are kept, and because tasks are
+    self-seeded the retried results are bit-identical to what the dead
+    worker would have produced.
+
     Parameters
     ----------
     jobs:
@@ -344,17 +428,43 @@ class ParallelExecutor(Executor):
         instead of spinning one up per batch.  Called only when a batch
         actually fans out — cache-warm and sub-threshold batches never
         touch it.  The owner shuts the pool down; this executor never does.
+    pool_reset:
+        Companion of ``pool_factory``: zero-argument callable that discards
+        the borrowed pool after a crash/stall so the next ``pool_factory``
+        call hands back a fresh one.  Without it a broken borrowed pool can
+        only be retried if the factory itself detects breakage
+        (:meth:`PoolManager.acquire` does).
+    max_retries:
+        Re-dispatch rounds to attempt after worker failures before raising
+        (default :data:`DEFAULT_MAX_RETRIES`); ``0`` fails fast.
+    task_timeout:
+        Stall deadline in seconds: if **no** outstanding chunk completes
+        within it, the round is declared hung, the pool is killed and the
+        unfinished chunks are re-dispatched.  ``None`` (default) waits
+        forever.
     """
 
     def __init__(
         self,
         jobs: Optional[int] = None,
         pool_factory: Optional[Callable[[], _ProcessPool]] = None,
+        pool_reset: Optional[Callable[[], None]] = None,
+        max_retries: Optional[int] = None,
+        task_timeout: Optional[float] = None,
     ):
         if jobs is not None and jobs < 1:
             raise ValueError(f"jobs must be at least 1, got {jobs}")
         self.jobs = int(jobs) if jobs is not None else (os.cpu_count() or 1)
+        self.max_retries = (
+            DEFAULT_MAX_RETRIES if max_retries is None else int(max_retries)
+        )
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.task_timeout = float(task_timeout) if task_timeout is not None else None
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError(f"task_timeout must be positive, got {task_timeout}")
         self._pool_factory = pool_factory
+        self._pool_reset = pool_reset
 
     def execute(
         self,
@@ -400,66 +510,140 @@ class ParallelExecutor(Executor):
     ) -> List[float]:
         tracer = current_tracer()
         chunks = _chunk_indices_by_graph(tasks, self.jobs * 4)
-        pool = self._pool_factory() if self._pool_factory is not None else None
-        owns_pool = pool is None
-        if owns_pool:
-            pool = _ProcessPool(max_workers=min(self.jobs, len(chunks)))
+        manager: Optional[PoolManager] = None
+        if self._pool_factory is not None:
+            factory = self._pool_factory
+            reset = self._pool_reset if self._pool_reset is not None else lambda: None
+        else:
+            manager = PoolManager(min(self.jobs, len(chunks)))
+            factory, reset = manager.acquire, manager.discard
         try:
             with tracer.span(
                 "executor.fan_out",
                 tasks=len(tasks), chunks=len(chunks), jobs=self.jobs,
             ) as fan_span:
                 tracer.counter("executor.fan_out")
-                futures = []
-                for chunk in chunks:
-                    chunk_graphs = {
-                        tasks[index].graph_key: graph_handles[tasks[index].graph_key]
-                        for index in chunk
-                    }
-                    chunk_labels = {
-                        tasks[index].labels_key: labels_handles[tasks[index].labels_key]
-                        for index in chunk
-                        if tasks[index].labels_key in labels_handles
-                    }
-                    futures.append(
-                        pool.submit(
-                            _run_shared_chunk,
-                            chunk_graphs,
-                            chunk_labels,
-                            [(index, tasks[index]) for index in chunk],
-                            tracer.enabled,
-                        )
-                    )
                 gains: List[Optional[float]] = [None] * len(tasks)
-                # as_completed: progress callbacks fire per finished chunk
-                # instead of in submission order; result placement is by
-                # index, so the output stays deterministic either way.
-                for future in as_completed(futures):
-                    outcome = future.result()
-                    if tracer.enabled:
-                        pairs, payload = outcome
-                        tracer.adopt(
-                            payload["spans"],
-                            parent_id=fan_span.span_id,
-                            counters=payload["counters"],
+                unfinished: "OrderedDict[int, List[int]]" = OrderedDict(
+                    enumerate(chunks)
+                )
+                attempt = 0
+                while unfinished:
+                    try:
+                        self._dispatch_round(
+                            factory(), tasks, unfinished,
+                            graph_handles, labels_handles, gains,
+                            fan_span, tracer,
                         )
-                    else:
-                        pairs = outcome
-                    for index, gain in pairs:
-                        gains[index] = gain
-                        tracer.task_done(tasks[index], gain)
+                    except (BrokenProcessPool, ChunkTimeoutError) as exc:
+                        attempt += 1
+                        if attempt > self.max_retries:
+                            raise
+                        # Everything a worker managed to append/return is
+                        # kept; only the chunks still in ``unfinished`` are
+                        # re-dispatched, onto a freshly created pool.
+                        tracer.counter("executor.retry")
+                        tracer.counter("executor.pool_recreate")
+                        tracer.event(
+                            "executor.retry",
+                            attempt=attempt,
+                            chunks=len(unfinished),
+                            cause=type(exc).__name__,
+                        )
+                        reset()
+                        time.sleep(RETRY_BACKOFF_SECONDS * attempt)
             if any(gain is None for gain in gains):
                 raise RuntimeError("worker chunks did not cover every task")
             return gains
         finally:
-            if owns_pool:
-                pool.shutdown()
+            if manager is not None:
+                manager.shutdown()
+
+    def _dispatch_round(
+        self,
+        pool: _ProcessPool,
+        tasks: Sequence[TrialTask],
+        unfinished: "OrderedDict[int, List[int]]",
+        graph_handles: Mapping[str, SharedGraphHandle],
+        labels_handles: Mapping[str, SharedLabelsHandle],
+        gains: List[Optional[float]],
+        fan_span,
+        tracer,
+    ) -> None:
+        """Submit every unfinished chunk and collect until done or dead.
+
+        Completed chunks are removed from ``unfinished`` as their results
+        land, so a ``BrokenProcessPool``/timeout abort leaves exactly the
+        undelivered chunks behind for the caller's retry round.
+        """
+        futures = {}
+        for chunk_id, chunk in unfinished.items():
+            chunk_graphs = {
+                tasks[index].graph_key: graph_handles[tasks[index].graph_key]
+                for index in chunk
+            }
+            chunk_labels = {
+                tasks[index].labels_key: labels_handles[tasks[index].labels_key]
+                for index in chunk
+                if tasks[index].labels_key in labels_handles
+            }
+            future = pool.submit(
+                _run_shared_chunk,
+                chunk_graphs,
+                chunk_labels,
+                [(index, tasks[index]) for index in chunk],
+                tracer.enabled,
+            )
+            futures[future] = chunk_id
+        # FIRST_COMPLETED waves: progress callbacks fire per finished chunk
+        # instead of in submission order; result placement is by index, so
+        # the output stays deterministic either way.  The deadline is a
+        # *stall* detector — it re-arms on every completion, so slow-but-
+        # progressing batches never trip it.
+        pending = set(futures)
+        while pending:
+            done, pending = wait(
+                pending, timeout=self.task_timeout, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                tracer.counter("executor.chunk_timeout")
+                for future in pending:
+                    future.cancel()
+                raise ChunkTimeoutError(
+                    f"no worker chunk completed within {self.task_timeout}s "
+                    f"({len(pending)} chunks outstanding)"
+                )
+            for future in done:
+                outcome = future.result()
+                if tracer.enabled:
+                    pairs, payload = outcome
+                    tracer.adopt(
+                        payload["spans"],
+                        parent_id=fan_span.span_id,
+                        counters=payload["counters"],
+                    )
+                else:
+                    pairs = outcome
+                for index, gain in pairs:
+                    gains[index] = gain
+                    tracer.task_done(tasks[index], gain)
+                del unfinished[futures[future]]
 
 
 def executor_for(config) -> Executor:
-    """The executor implied by ``config.jobs`` (1 -> serial)."""
+    """The executor implied by ``config.jobs`` (1 -> serial).
+
+    ``config.max_retries``/``config.task_timeout`` (when present) size the
+    parallel executor's crash-retry and stall-deadline behaviour.
+    """
     jobs = getattr(config, "jobs", 1)
-    return ParallelExecutor(jobs=jobs) if jobs > 1 else SerialExecutor()
+    if jobs > 1:
+        return ParallelExecutor(
+            jobs=jobs,
+            max_retries=getattr(config, "max_retries", None),
+            task_timeout=getattr(config, "task_timeout", None),
+        )
+    return SerialExecutor()
 
 
 def cache_for(config) -> CacheLike:

@@ -18,10 +18,27 @@ lazily on first export, attachers never unlink, and :meth:`close` (also run
 by the context manager and the finalizer) unlinks everything the store
 created.  Closing while workers still hold attachments is safe on POSIX —
 their mappings stay valid until they drop them.
+
+Abnormal teardown: a process that dies mid-sweep without reaching
+:meth:`close` would leak its ``/dev/shm`` segments (they survive the
+process).  Every store therefore registers in a module-level weak set whose
+entries are closed from an ``atexit`` hook (covers normal exits **and**
+``KeyboardInterrupt``, which unwinds into a normal interpreter exit) and
+from a chaining ``SIGTERM`` handler installed on first store creation when
+the process had none (covers supervisor kills mid-sweep).  ``SIGKILL``
+cannot be intercepted by design — the distributed layer's lease reclaim
+covers the work, and the OS reclaims ``/dev/shm`` on reboot only, so
+operators should prefer SIGTERM.  Forked children (pool workers) inherit
+the registry but never unlink: ownership is pinned to the creating PID.
 """
 
 from __future__ import annotations
 
+import atexit
+import os
+import signal
+import threading
+import weakref
 from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
@@ -70,6 +87,52 @@ def attach_labels(handle: SharedLabelsHandle) -> Tuple[np.ndarray, object]:
     return labels, segment
 
 
+#: Live stores whose segments the emergency hooks must unlink on abnormal
+#: teardown.  Weak references: a garbage-collected store already ran its
+#: finalizer and needs no emergency cleanup.
+_LIVE_STORES: "weakref.WeakSet[GraphStore]" = weakref.WeakSet()
+_HOOKS_INSTALLED = False
+
+
+def _close_live_stores() -> None:
+    """Close every registered store (emergency path; exceptions swallowed)."""
+    for store in list(_LIVE_STORES):
+        try:
+            store.close()
+        except Exception:  # pragma: no cover - nothing left to do mid-death
+            pass
+
+
+def _install_teardown_hooks() -> None:
+    """One-time registration of the atexit and (chaining) SIGTERM hooks.
+
+    The SIGTERM handler is only installed from the main thread and only
+    when the process has no handler of its own (``SIG_DFL``): library code
+    must never silently replace an application's signal handling.  After
+    cleanup it restores the default disposition and re-raises SIGTERM, so
+    the process still dies with the conventional 143 exit status.
+    """
+    global _HOOKS_INSTALLED
+    if _HOOKS_INSTALLED:
+        return
+    _HOOKS_INSTALLED = True
+    atexit.register(_close_live_stores)
+    if threading.current_thread() is not threading.main_thread():
+        return
+    try:
+        if signal.getsignal(signal.SIGTERM) is signal.SIG_DFL:
+
+            def _on_sigterm(signum, frame):  # pragma: no cover - exercised
+                # in a subprocess (tests/graph/test_shared.py)
+                _close_live_stores()
+                signal.signal(signal.SIGTERM, signal.SIG_DFL)
+                os.kill(os.getpid(), signal.SIGTERM)
+
+            signal.signal(signal.SIGTERM, _on_sigterm)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
+
+
 class GraphStore:
     """Graphs and labelings addressable by the keys tasks carry.
 
@@ -96,6 +159,12 @@ class GraphStore:
         self._labels_handles: Dict[str, SharedLabelsHandle] = {}
         self._segments: list = []  # owned SharedMemory objects, unlinked on close
         self._closed = False
+        # Segment ownership is per-process: a forked child inheriting this
+        # store (pool workers, double-fork daemons) must never unlink
+        # segments its parent still serves to other workers.
+        self._owner_pid = os.getpid()
+        _install_teardown_hooks()
+        _LIVE_STORES.add(self)
 
     # ------------------------------------------------------------------
     # Registration and lookup
@@ -117,6 +186,25 @@ class GraphStore:
         key = labels_fingerprint(labels)
         self._labels.setdefault(key, np.ascontiguousarray(labels, dtype=np.int64))
         return key
+
+    def alias_graph(self, graph_key: str, graph: Graph) -> None:
+        """Also answer ``graph_key`` with ``graph`` (existing entries win).
+
+        The homogeneous executor surface promises that the *given* graph
+        serves whatever ``graph_key`` the tasks carry (test stubs use
+        synthetic keys); aliasing preserves that contract when such a batch
+        is lowered onto the store-resolved heterogeneous path.
+        """
+        self._graphs.setdefault(graph_key, graph)
+
+    def alias_labels(self, labels_key: str, labels: Optional[np.ndarray]) -> None:
+        """Also answer ``labels_key`` with ``labels`` (existing entries win)."""
+        if labels_key:
+            self._labels.setdefault(
+                labels_key,
+                None if labels is None
+                else np.ascontiguousarray(labels, dtype=np.int64),
+            )
 
     def graph(self, graph_key: str) -> Graph:
         """The registered graph for ``graph_key``; KeyError with context."""
@@ -199,16 +287,23 @@ class GraphStore:
         """Unlink every owned segment; the store stays usable for lookups.
 
         Idempotent.  Exports after ``close`` raise — a closed store must not
-        silently re-create segments nobody will unlink.
+        silently re-create segments nobody will unlink.  In a forked child
+        (a pool worker inheriting the exporter's store) close only drops
+        the mappings: unlinking is reserved for the creating process, or
+        the parent's later exports would vanish under its other workers.
         """
         if self._closed:
             return
         self._closed = True
+        _LIVE_STORES.discard(self)
+        owns_segments = os.getpid() == self._owner_pid
         for segment in self._segments:
             try:
                 segment.close()
             except BufferError:  # pragma: no cover - a view is still alive
                 pass  # the mapping is released when the last view dies
+            if not owns_segments:
+                continue
             try:
                 segment.unlink()
             except (FileNotFoundError, OSError):  # pragma: no cover - already gone

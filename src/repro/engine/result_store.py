@@ -29,7 +29,7 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Dict, Optional, Set, Union
+from typing import Dict, Optional, Set, Tuple, Union
 
 from repro.engine.cache import CACHE_VERSION, default_cache_dir
 from repro.engine.tasks import TrialTask, identity_payload
@@ -37,6 +37,20 @@ from repro.telemetry.core import current_tracer
 
 #: Hex digits of the content hash selecting a shard (256 shards).
 SHARD_PREFIX_LEN = 2
+
+
+def _write_all(descriptor: int, data: bytes) -> None:
+    """Write every byte of ``data`` to ``descriptor``, looping on short writes.
+
+    ``os.write`` may legitimately write fewer bytes than asked (signals,
+    quotas, pipes/FUSE backends); a naive single call would then leave a
+    torn line *mid-file*, where the store's torn-line tolerance — built for
+    an interrupted trailing append — cannot help.
+    """
+    view = memoryview(data)
+    while view:
+        written = os.write(descriptor, view)
+        view = view[written:]
 
 
 class ShardedResultStore:
@@ -62,17 +76,24 @@ class ShardedResultStore:
         self.appends = 0
         self.migrated = 0
         self.shards_loaded = 0
+        self.reloads = 0
         self._index: Dict[str, Dict[str, dict]] = {}
         self._loaded: Set[str] = set()
+        #: prefix -> (size, mtime_ns) of the shard file when last parsed;
+        #: None when no file existed.  A mismatch on a miss means another
+        #: process appended since — reload instead of recomputing its work.
+        self._shard_stats: Dict[str, Optional[Tuple[int, int]]] = {}
 
     def stats(self) -> Dict[str, int]:
         """Lifetime counters of this store instance.
 
         ``hits``/``misses`` count :meth:`get` outcomes, ``appends`` counts
         :meth:`put` writes, ``migrated`` counts legacy entries forwarded
-        into shards, and ``shards_loaded`` counts shard files actually
-        parsed.  :meth:`~repro.engine.session.EngineSession.close` logs
-        this snapshot through telemetry.
+        into shards, ``shards_loaded`` counts shard files actually parsed,
+        and ``reloads`` counts staleness-probe re-parses that picked up
+        other processes' appends.
+        :meth:`~repro.engine.session.EngineSession.close` logs this
+        snapshot through telemetry.
         """
         return {
             "hits": self.hits,
@@ -80,6 +101,7 @@ class ShardedResultStore:
             "appends": self.appends,
             "migrated": self.migrated,
             "shards_loaded": self.shards_loaded,
+            "reloads": self.reloads,
         }
 
     # ------------------------------------------------------------------
@@ -97,11 +119,21 @@ class ShardedResultStore:
     # Reads
     # ------------------------------------------------------------------
     def get(self, task: TrialTask) -> Optional[float]:
-        """The stored gain for ``task``, or None on any kind of miss."""
+        """The stored gain for ``task``, or None on any kind of miss.
+
+        A miss on an already loaded shard probes the shard file's
+        size/mtime first: if another process appended since this store
+        parsed it, the shard is re-read and the lookup retried, so
+        concurrent writers' results become visible without a full
+        :meth:`refresh` — the probe is one ``stat`` and only runs on
+        misses, hits stay pure dictionary lookups.
+        """
         digest = task.content_hash()
         prefix = digest[:SHARD_PREFIX_LEN]
         self._load_shard(prefix)
         entry = self._index.get(prefix, {}).get(digest)
+        if entry is None and self._reload_if_stale(prefix):
+            entry = self._index.get(prefix, {}).get(digest)
         if entry is None:
             entry = self._read_legacy(task, digest)
         if entry is None or not self._valid(entry, task):
@@ -140,11 +172,23 @@ class ShardedResultStore:
         current_tracer().counter("result_store.migrated")
         return entry
 
+    def _shard_stat(self, prefix: str) -> Optional[Tuple[int, int]]:
+        """The shard file's (size, mtime_ns), or None when absent."""
+        try:
+            status = os.stat(self.shard_path(prefix))
+        except OSError:
+            return None
+        return (status.st_size, status.st_mtime_ns)
+
     def _load_shard(self, prefix: str) -> None:
         if prefix in self._loaded:
             return
         self._loaded.add(prefix)
         index = self._index.setdefault(prefix, {})
+        # Stat *before* reading: a writer appending mid-parse then looks
+        # stale on the next miss and triggers a (cheap, idempotent) reload
+        # instead of being silently skipped forever.
+        self._shard_stats[prefix] = self._shard_stat(prefix)
         try:
             with open(self.shard_path(prefix), "r", encoding="utf-8") as handle:
                 self.shards_loaded += 1
@@ -162,11 +206,29 @@ class ShardedResultStore:
         except OSError:
             pass
 
+    def _reload_if_stale(self, prefix: str) -> bool:
+        """Re-parse a loaded shard iff its file changed since; True if so."""
+        if self._shard_stat(prefix) == self._shard_stats.get(prefix):
+            return False
+        self._loaded.discard(prefix)
+        self._index.pop(prefix, None)
+        self._load_shard(prefix)
+        self.reloads += 1
+        current_tracer().counter("result_store.reload")
+        return True
+
     # ------------------------------------------------------------------
     # Writes
     # ------------------------------------------------------------------
     def put(self, task: TrialTask, gain: float) -> None:
-        """Append ``gain`` for ``task`` to its shard (atomic single write)."""
+        """Append ``gain`` for ``task`` to its shard (atomic single write).
+
+        Idempotent against what this store already knows: if the in-memory
+        index holds a byte-identical entry (a cache hit another layer
+        re-put, or a distributed retry of work that did land), no shard
+        line is appended — duplicate lines are harmless (last-writer-wins)
+        but pure bloat.
+        """
         digest = task.content_hash()
         entry = {
             "cache_version": CACHE_VERSION,
@@ -174,6 +236,10 @@ class ShardedResultStore:
             "task": identity_payload(task),
             "gain": float(gain),
         }
+        prefix = digest[:SHARD_PREFIX_LEN]
+        if self._index.get(prefix, {}).get(digest) == entry:
+            current_tracer().counter("result_store.dedup")
+            return
         with current_tracer().timer("result_store.append"):
             self._append(digest, entry)
         self.appends += 1
@@ -183,11 +249,18 @@ class ShardedResultStore:
         path = self.shard_path(prefix)
         path.parent.mkdir(parents=True, exist_ok=True)
         line = json.dumps(entry, sort_keys=True, separators=(",", ":")) + "\n"
-        # One write() on an O_APPEND descriptor: concurrent appenders from
-        # separate processes interleave whole lines, never fragments.
+        # One write-all on an O_APPEND descriptor: concurrent appenders from
+        # separate processes interleave whole lines, never fragments (short
+        # writes — rare but legal — loop until the full line landed).
         descriptor = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
         try:
-            os.write(descriptor, line.encode("utf-8"))
+            _write_all(descriptor, line.encode("utf-8"))
+            # Remember our own append's stat so the next staleness probe
+            # does not mistake it for a foreign write and re-parse for
+            # nothing (fstat on the open descriptor is race-free enough:
+            # a concurrent foreign append after it still flips the stat).
+            status = os.fstat(descriptor)
+            self._shard_stats[prefix] = (status.st_size, status.st_mtime_ns)
         finally:
             os.close(descriptor)
         self._index.setdefault(prefix, {})[digest] = entry
@@ -196,9 +269,16 @@ class ShardedResultStore:
     # Maintenance
     # ------------------------------------------------------------------
     def refresh(self) -> None:
-        """Forget loaded indexes so other processes' appends become visible."""
+        """Forget loaded indexes so other processes' appends become visible.
+
+        The staleness probe in :meth:`get` already catches foreign appends
+        to *grown* shard files; an explicit refresh additionally drops any
+        in-memory-only state and is what the resume path
+        (``scenario run --resume``) calls before replaying a batch.
+        """
         self._index.clear()
         self._loaded.clear()
+        self._shard_stats.clear()
 
     def clear(self) -> int:
         """Delete every entry — shards and legacy files; returns entry count.

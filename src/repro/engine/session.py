@@ -43,6 +43,7 @@ from repro.engine.cache import NullCache
 from repro.engine.executors import (
     CacheLike,
     ParallelExecutor,
+    PoolManager,
     SerialExecutor,
     cache_for,
     run_batch,
@@ -71,6 +72,12 @@ class EngineSession:
         :meth:`close`).  None leaves the current tracer — usually the
         no-op :data:`~repro.telemetry.core.NULL_TRACER` — in place;
         ``REPRO_TRACE=1`` activates one without code changes either way.
+    max_retries / task_timeout:
+        Crash-retry rounds and stall deadline (seconds) handed to the
+        parallel executor: a worker that dies (``BrokenProcessPool``) or a
+        round that stops progressing gets the persistent pool replaced and
+        only the undelivered chunks re-dispatched — the session stays
+        usable for subsequent :meth:`run` calls either way.
     """
 
     def __init__(
@@ -78,13 +85,17 @@ class EngineSession:
         jobs: int = 1,
         cache: Optional[CacheLike] = None,
         telemetry: Optional[TracerLike] = None,
+        max_retries: Optional[int] = None,
+        task_timeout: Optional[float] = None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be at least 1, got {jobs}")
         self.jobs = int(jobs)
         self.cache: CacheLike = cache if cache is not None else NullCache()
         self.graphs = GraphStore()
-        self._pool: Optional[_ProcessPool] = None
+        self.max_retries = max_retries
+        self.task_timeout = task_timeout
+        self._pools = PoolManager(self.jobs)
         self._closed = False
         self._previous_tracer: Optional[TracerLike] = None
         if telemetry is not None:
@@ -97,6 +108,8 @@ class EngineSession:
         return cls(
             jobs=getattr(config, "jobs", 1),
             cache=cache if cache is not None else cache_for(config),
+            max_retries=getattr(config, "max_retries", None),
+            task_timeout=getattr(config, "task_timeout", None),
         )
 
     # ------------------------------------------------------------------
@@ -136,17 +149,26 @@ class EngineSession:
             return SerialExecutor()
         # The pool is created by the factory only when a batch actually fans
         # out: empty, cache-warm and sub-threshold runs never fork a worker.
-        return ParallelExecutor(jobs=self.jobs, pool_factory=self._ensure_pool)
+        # The reset hook lets the executor replace a pool whose workers died
+        # mid-batch, so one crash never poisons later run() calls.
+        return ParallelExecutor(
+            jobs=self.jobs,
+            pool_factory=self._ensure_pool,
+            pool_reset=self._discard_pool,
+            max_retries=self.max_retries,
+            task_timeout=self.task_timeout,
+        )
+
+    @property
+    def _pool(self) -> Optional[_ProcessPool]:
+        """The live persistent pool, if one was ever created (tests peek)."""
+        return self._pools._pool
 
     def _ensure_pool(self) -> _ProcessPool:
-        tracer = current_tracer()
-        if self._pool is None:
-            with tracer.span("pool.create", jobs=self.jobs):
-                self._pool = _ProcessPool(max_workers=self.jobs)
-            tracer.counter("pool.create")
-        else:
-            tracer.counter("pool.reuse")
-        return self._pool
+        return self._pools.acquire()
+
+    def _discard_pool(self) -> None:
+        self._pools.discard()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -167,9 +189,7 @@ class EngineSession:
             stats_of = getattr(self.cache, "stats", None)
             attrs = dict(stats_of()) if callable(stats_of) else {}
             with current_tracer().span("session.close", **attrs):
-                if self._pool is not None:
-                    self._pool.shutdown()
-                    self._pool = None
+                self._pools.shutdown()
                 self.graphs.close()
         finally:
             if self._previous_tracer is not None:

@@ -31,12 +31,15 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.engine.distributed import DistributedExecutor
+from repro.engine.graph_store import GraphStore
+from repro.engine.result_store import ShardedResultStore
 from repro.experiments import figures
 from repro.experiments.config import DATASET_NAMES, ExperimentConfig
 from repro.experiments.reporting import format_table
 from repro.scenarios import golden as golden_store
 from repro.scenarios.registry import SCENARIOS, get_scenario, scenario_names
-from repro.scenarios.run import run_scenario, run_scenarios
+from repro.scenarios.run import prepare_scenario, run_scenario, run_scenarios
 from repro.telemetry import ProgressPrinter, RunManifest, Tracer
 from repro.telemetry.core import current_tracer, use_tracer
 from repro.telemetry.export import summarize_trace, write_trace
@@ -97,6 +100,17 @@ def _add_run_options(parser: argparse.ArgumentParser, dataset_default: Optional[
         help="recompute every trial instead of reusing the on-disk result "
         "cache (see REPRO_CACHE_DIR)",
     )
+    parser.add_argument(
+        "--max-retries", type=int, default=2,
+        help="rounds a crashed/stalled parallel batch is retried before the "
+        "failure propagates; only undelivered chunks re-run, results are "
+        "bit-identical either way (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None,
+        help="seconds one round of in-flight worker chunks may stall before "
+        "the pool is replaced and the round retried (default: no deadline)",
+    )
 
 
 def _add_scenario_commands(subparsers) -> None:
@@ -149,6 +163,13 @@ def _add_scenario_commands(subparsers) -> None:
         "--progress", action="store_true",
         help="print live per-panel progress to stderr while trials run",
     )
+    runner.add_argument(
+        "--resume", action="store_true",
+        help="finish an interrupted sweep: refresh the shared result store "
+        "so everything any worker appended before dying answers as a cache "
+        "hit, recompute only what is missing, and print the reuse summary "
+        "(results are bit-identical to an uninterrupted run)",
+    )
 
     recorder = actions.add_parser(
         "record",
@@ -187,6 +208,49 @@ def _add_scenario_commands(subparsers) -> None:
     checker.add_argument(
         "--dir", default=None,
         help="fixture directory (default: tests/golden, or $REPRO_GOLDEN_DIR)",
+    )
+
+
+def _add_worker_command(subparsers) -> None:
+    """The ``worker`` subcommand: one process of a distributed fleet."""
+    worker = subparsers.add_parser(
+        "worker",
+        help="join a distributed sweep: claim shard ranges, compute, exit",
+        description="Run one worker of a distributed sweep.  Start any "
+        "number of these — same host or many hosts sharing REPRO_CACHE_DIR "
+        "— with identical scenario names and knobs: each claims "
+        "content-hash shard ranges via lease files next to the result "
+        "shards, computes them, appends to the shared store and exits when "
+        "nothing is left to claim.  Crashed workers' leases expire and "
+        "their unfinished ranges are reclaimed by survivors; a sweep "
+        "interrupted entirely is finished by 'scenario run --resume'.  "
+        "Results are bit-identical to a serial run for any fleet size, "
+        "interleaving or crash pattern.",
+    )
+    worker.add_argument(
+        "names", nargs="+", metavar="name",
+        help="registered scenario name(s); every worker of one sweep must "
+        "pass the same names and knobs",
+    )
+    _add_run_options(worker, dataset_default=None)
+    worker.add_argument(
+        "--worker-id", default=None,
+        help="fleet-unique lease owner id (default: <hostname>:<pid>)",
+    )
+    worker.add_argument(
+        "--ranges", type=int, default=16,
+        help="shard ranges the task space is cut into — the unit of claim "
+        "and of crash recovery (default: %(default)s, max 256)",
+    )
+    worker.add_argument(
+        "--lease-ttl", type=float, default=30.0,
+        help="seconds a lease's heartbeat may stand still before other "
+        "workers reclaim its range (default: %(default)s)",
+    )
+    worker.add_argument(
+        "--poll-interval", type=float, default=0.2,
+        help="seconds between polls of ranges other workers own "
+        "(default: %(default)s)",
     )
 
 
@@ -233,6 +297,7 @@ def build_parser() -> argparse.ArgumentParser:
         artifact = subparsers.add_parser(name, help=helps[name])
         _add_run_options(artifact, dataset_default="facebook")
     _add_scenario_commands(subparsers)
+    _add_worker_command(subparsers)
     _add_trace_commands(subparsers)
     return parser
 
@@ -242,6 +307,7 @@ def _config_from(args) -> ExperimentConfig:
         beta=args.beta, gamma=args.gamma, epsilon=args.epsilon,
         trials=args.trials, seed=args.seed, scale=args.scale,
         jobs=args.jobs, cache=not args.no_cache,
+        max_retries=args.max_retries, task_timeout=args.task_timeout,
     )
 
 
@@ -277,6 +343,19 @@ def _scenario_run(args, out) -> int:
     specs = [get_scenario(name, dataset=args.dataset or "") for name in args.names]
     config = _config_from(args)
 
+    # --resume finishes an interrupted sweep from the shared result store:
+    # refresh drops any state a long-lived store instance might hold, so
+    # every result a crashed worker appended before dying answers as a hit
+    # and only the genuinely missing tasks recompute.
+    resume_store: Optional[ShardedResultStore] = None
+    if args.resume:
+        if args.no_cache:
+            print("--resume replays the shared result store; it cannot be "
+                  "combined with --no-cache", file=out)
+            return 2
+        resume_store = ShardedResultStore()
+        resume_store.refresh()
+
     # --trace/--progress install an explicit tracer for this run only;
     # without them the current tracer stays in charge (REPRO_TRACE still
     # promotes one process-wide, it just isn't exported to a file here).
@@ -289,14 +368,21 @@ def _scenario_run(args, out) -> int:
     started = time.perf_counter()
     with use_tracer(tracer) if tracer is not None else _current_tracer_scope():
         if len(specs) == 1:
-            blocks = [run_scenario(specs[0], config).format()]
+            blocks = [run_scenario(specs[0], config, cache=resume_store).format()]
         else:
-            results = run_scenarios(specs, config)
+            results = run_scenarios(specs, config, cache=resume_store)
             blocks = [
                 f"=== {name} ===\n{result.format()}"
                 for name, result in results.items()
             ]
     print("\n\n".join(blocks), file=out)
+    if resume_store is not None:
+        stats = resume_store.stats()
+        print(
+            f"resume: reused {stats['hits']} stored results, "
+            f"computed {stats['appends']} missing",
+            file=out,
+        )
 
     if args.trace and tracer is not None:
         manifest = RunManifest.from_tracer(
@@ -307,6 +393,45 @@ def _scenario_run(args, out) -> int:
         )
         path = write_trace(tracer, args.trace, manifest=manifest)
         print(f"trace written to {path}", file=out)
+    return 0
+
+
+def _worker_run(args, out) -> int:
+    """One process of a distributed fleet: claim, compute, append, exit."""
+    if args.no_cache:
+        print("worker mode computes into the shared result store; it cannot "
+              "run with --no-cache", file=out)
+        return 2
+    specs = [get_scenario(name, dataset=args.dataset or "") for name in args.names]
+    config = _config_from(args)
+    store = ShardedResultStore()
+    executor = DistributedExecutor(
+        store,
+        worker_id=args.worker_id,
+        jobs=config.jobs,
+        range_count=args.ranges,
+        lease_ttl=args.lease_ttl,
+        poll_interval=args.poll_interval,
+        max_retries=config.max_retries,
+        task_timeout=config.task_timeout,
+    )
+    with GraphStore() as graphs:
+        batch = []
+        for spec in specs:
+            if spec.kind != "sweep":
+                continue
+            prepared = prepare_scenario(spec, config)
+            for key, graph in prepared.graphs.items():
+                graphs.add(graph, prepared.labels.get(key))
+            batch.extend(prepared.tasks)
+        appended = executor.work(batch, graphs)
+    stats = store.stats()
+    print(
+        f"worker {executor.worker_id}: appended {appended} of {len(batch)} "
+        f"results ({stats['hits']} already stored); leases under "
+        f"{store.root / 'leases'}",
+        file=out,
+    )
     return 0
 
 
@@ -386,6 +511,9 @@ def run(argv: Optional[Sequence[str]] = None, out=None) -> int:
         }[args.action]
         return handler(args, out)
 
+    if args.artifact == "worker":
+        return _worker_run(args, out)
+
     if args.artifact == "trace":
         return _trace_summarize(args, out)
 
@@ -399,6 +527,7 @@ def run(argv: Optional[Sequence[str]] = None, out=None) -> int:
         for name in _PROTOCOL_FIGURES:
             lines.append(f"  {name:<12} LF-GDPR vs LDPGen comparison")
         lines.append("  scenario     declarative scenarios (list/run/record/check)")
+        lines.append("  worker       one process of a distributed sweep fleet")
         print("\n".join(lines), file=out)
         return 0
 

@@ -46,6 +46,15 @@ class ExperimentConfig:
     cache:
         Reuse the on-disk trial-result cache (``repro.engine.cache``) so a
         re-run only computes missing points.  Disable with ``--no-cache``.
+    max_retries:
+        Crash-retry rounds for parallel execution: a worker process dying
+        mid-batch (``BrokenProcessPool``) or a stalled round gets the pool
+        replaced and only the undelivered chunks re-dispatched, up to this
+        many times before the failure propagates.  ``0`` fails fast.
+    task_timeout:
+        Stall deadline in seconds for one round of in-flight worker chunks
+        (``None`` waits forever).  Retries are bit-neutral either way —
+        tasks are self-seeded, so a re-run computes identical gains.
     """
 
     beta: float = 0.05
@@ -56,6 +65,8 @@ class ExperimentConfig:
     scale: Optional[float] = None
     jobs: int = 1
     cache: bool = True
+    max_retries: int = 2
+    task_timeout: Optional[float] = None
 
     def __post_init__(self):
         check_fraction(self.beta, "beta")
@@ -65,6 +76,12 @@ class ExperimentConfig:
         check_positive_int(self.jobs, "jobs")
         if self.scale is not None:
             check_scale(self.scale, "scale")
+        if isinstance(self.max_retries, bool) or not isinstance(self.max_retries, int):
+            raise TypeError(f"max_retries must be an int, got {self.max_retries!r}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.task_timeout is not None:
+            check_positive(self.task_timeout, "task_timeout")
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
         """A copy with the given fields replaced."""

@@ -239,6 +239,7 @@ def run_scenarios(
     specs: Sequence[ScenarioSpec],
     config: ExperimentConfig = DEFAULT_CONFIG,
     session: Optional[EngineSession] = None,
+    cache: Optional[CacheLike] = None,
 ) -> "OrderedDict[str, ScenarioResult]":
     """Execute several scenarios as **one** heterogeneous engine batch.
 
@@ -248,6 +249,10 @@ def run_scenarios(
     and scenarios parallelise against each other instead of running back to
     back.  Results are keyed by scenario name, in input order, and are
     bit-identical to running each scenario alone (tasks are self-seeded).
+    ``cache`` overrides the config-derived cache, exactly as in
+    :func:`run_scenario` — the resume path passes a refreshed
+    :class:`~repro.engine.result_store.ShardedResultStore` here so an
+    interrupted sweep's surviving results answer as hits.
     """
     specs = list(specs)
     names = [spec.name for spec in specs]
@@ -259,7 +264,7 @@ def run_scenarios(
         for spec in specs
         if spec.kind == "sweep"
     }
-    with session_scope(config, session) as (live_session, batch_cache):
+    with session_scope(config, session, cache) as (live_session, batch_cache):
         batch: List[TrialTask] = []
         for spec in specs:
             if spec.kind != "sweep":

@@ -1,0 +1,50 @@
+"""Crash/hang injection for process-pool workers.
+
+The engine's pools fork on Linux, so anything the test process sets *before*
+the pool is created — monkeypatched module attributes, environment
+variables, globals — is inherited by every worker.  The wrappers here are
+installed over ``repro.engine.executors._run_shared_chunk`` and gate on a
+marker file named by :data:`MARKER_ENV`: the **first** worker call to win
+the (atomic, ``O_EXCL``) marker race kills or hangs itself; every other
+call — concurrent siblings and the retry round alike — delegates to the
+real implementation.  One injected failure per marker, real process death,
+deterministic recovery.
+"""
+
+import os
+import signal
+import time
+
+from repro.engine import executors
+
+#: Environment variable naming the marker file that arms the wrappers.
+MARKER_ENV = "REPRO_TEST_CRASH_MARKER"
+
+#: The genuine worker entry point, captured at import time.
+REAL_RUN_SHARED_CHUNK = executors._run_shared_chunk
+
+
+def _trip(marker: str) -> bool:
+    """Atomically claim the one injected failure; False if already tripped."""
+    try:
+        descriptor = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(descriptor)
+    return True
+
+
+def sigkill_once_chunk(*args, **kwargs):
+    """Die like an OOM-killed worker on the first armed call, then behave."""
+    marker = os.environ.get(MARKER_ENV, "")
+    if marker and _trip(marker):
+        os.kill(os.getpid(), signal.SIGKILL)
+    return REAL_RUN_SHARED_CHUNK(*args, **kwargs)
+
+
+def hang_once_chunk(*args, **kwargs):
+    """Stall forever (well past any test deadline) on the first armed call."""
+    marker = os.environ.get(MARKER_ENV, "")
+    if marker and _trip(marker):
+        time.sleep(600)
+    return REAL_RUN_SHARED_CHUNK(*args, **kwargs)

@@ -187,3 +187,86 @@ class TestOutOfBandLabelsParity:
         serial = SerialExecutor().execute(tasks, graph, labels)
         parallel = ParallelExecutor(jobs=3).execute(tasks, graph, labels)
         assert parallel == serial
+
+
+class TestCrashRetry:
+    """Worker death and stalls: retried transparently, bit-identically.
+
+    Injection rides the fork start method: ``crashkit``'s wrappers are
+    monkeypatched over ``_run_shared_chunk`` *before* the pool forks, so
+    workers inherit them; a marker file arms exactly one SIGKILL (or hang)
+    across all workers and rounds.
+    """
+
+    def _arm(self, monkeypatch, tmp_path, wrapper):
+        from tests.engine import crashkit
+
+        marker = tmp_path / "tripped"
+        monkeypatch.setenv(crashkit.MARKER_ENV, str(marker))
+        monkeypatch.setattr(
+            "repro.engine.executors._run_shared_chunk", wrapper
+        )
+        return marker
+
+    def test_sigkilled_worker_is_retried_bit_identically(
+        self, graph, monkeypatch, tmp_path
+    ):
+        from concurrent.futures.process import BrokenProcessPool  # noqa: F401
+
+        from tests.engine import crashkit
+        from repro.telemetry.core import Tracer, use_tracer
+
+        marker = self._arm(monkeypatch, tmp_path, crashkit.sigkill_once_chunk)
+        with use_tracer(Tracer()) as tracer:
+            survived = small_sweep(
+                graph, ParallelExecutor(jobs=2, max_retries=2), NullCache()
+            )
+        assert marker.exists(), "the injected SIGKILL never fired"
+        assert tracer.counters["executor.retry"] >= 1
+        assert tracer.counters["executor.pool_recreate"] >= 1
+
+        monkeypatch.setattr(
+            "repro.engine.executors._run_shared_chunk",
+            crashkit.REAL_RUN_SHARED_CHUNK,
+        )
+        serial = small_sweep(graph, SerialExecutor(), NullCache())
+        assert survived.series == serial.series
+        assert survived.stderr == serial.stderr
+
+    def test_max_retries_zero_fails_fast(self, graph, monkeypatch, tmp_path):
+        from concurrent.futures.process import BrokenProcessPool
+
+        from tests.engine import crashkit
+
+        self._arm(monkeypatch, tmp_path, crashkit.sigkill_once_chunk)
+        with pytest.raises(BrokenProcessPool):
+            small_sweep(
+                graph, ParallelExecutor(jobs=2, max_retries=0), NullCache()
+            )
+
+    def test_hung_chunk_times_out_and_retries(self, graph, monkeypatch, tmp_path):
+        from tests.engine import crashkit
+        from repro.telemetry.core import Tracer, use_tracer
+
+        self._arm(monkeypatch, tmp_path, crashkit.hang_once_chunk)
+        with use_tracer(Tracer()) as tracer:
+            survived = small_sweep(
+                graph,
+                ParallelExecutor(jobs=2, max_retries=2, task_timeout=2.0),
+                NullCache(),
+            )
+        assert tracer.counters["executor.chunk_timeout"] >= 1
+        assert tracer.counters["executor.retry"] >= 1
+
+        monkeypatch.setattr(
+            "repro.engine.executors._run_shared_chunk",
+            crashkit.REAL_RUN_SHARED_CHUNK,
+        )
+        serial = small_sweep(graph, SerialExecutor(), NullCache())
+        assert survived.series == serial.series
+
+    def test_rejects_bad_retry_parameters(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            ParallelExecutor(jobs=2, max_retries=-1)
+        with pytest.raises(ValueError, match="task_timeout"):
+            ParallelExecutor(jobs=2, task_timeout=0)

@@ -216,3 +216,82 @@ class TestMissSemantics:
         assert cache.get(task) is None
         cache.put(task, 1.0)
         assert cache.get(task) is None
+
+
+class TestStalenessProbe:
+    """A long-lived store must see what other processes append behind it."""
+
+    def test_foreign_append_to_loaded_shard_becomes_visible(self, graph, tmp_path):
+        tasks = make_tasks(graph, 4, "stale")
+        reader = ShardedResultStore(tmp_path)
+        for task in tasks:
+            assert reader.get(task) is None  # shards now loaded (and empty)
+
+        writer = ShardedResultStore(tmp_path)  # a "different process"
+        for index, task in enumerate(tasks):
+            writer.put(task, float(index))
+
+        # Without the probe these would all miss forever: the reader's
+        # in-memory indexes were parsed before the writer appended.
+        for index, task in enumerate(tasks):
+            assert reader.get(task) == float(index)
+        assert reader.reloads >= 1
+        assert reader.stats()["reloads"] == reader.reloads
+
+    def test_own_appends_do_not_trigger_reloads(self, graph, tmp_path):
+        store = ShardedResultStore(tmp_path)
+        tasks = make_tasks(graph, 6, "selfstale")
+        for index, task in enumerate(tasks):
+            assert store.get(task) is None
+            store.put(task, float(index))
+        probe = make_tasks(graph, 12, "selfstale-miss")
+        for task in probe:
+            store.get(task)
+        assert store.reloads == 0, "a store must not re-parse its own writes"
+
+    def test_refresh_drops_probe_state_too(self, graph, tmp_path):
+        store = ShardedResultStore(tmp_path)
+        (task,) = make_tasks(graph, 1, "refresh-probe")
+        store.put(task, 1.0)
+        store.refresh()
+        assert store._shard_stats == {}
+        assert store.get(task) == 1.0
+
+
+class TestAppendDurability:
+    def test_short_writes_never_tear_lines(self, graph, tmp_path, monkeypatch):
+        """os.write delivering partial lines must loop, not truncate.
+
+        Simulated short writes (at most 7 bytes per call) must still land
+        every entry whole — a torn line mid-shard would silently drop a
+        result another worker already paid to compute.
+        """
+        import os as os_module
+
+        real_write = os_module.write
+
+        def dribble(descriptor, data):
+            return real_write(descriptor, bytes(data)[:7])
+
+        monkeypatch.setattr(
+            "repro.engine.result_store.os.write", dribble
+        )
+        store = ShardedResultStore(tmp_path)
+        tasks = make_tasks(graph, 5, "dribble")
+        for index, task in enumerate(tasks):
+            store.put(task, float(index))
+
+        fresh = ShardedResultStore(tmp_path)
+        for index, task in enumerate(tasks):
+            assert fresh.get(task) == float(index)
+        assert fresh.misses == 0
+
+    def test_duplicate_put_appends_no_line(self, graph, tmp_path):
+        store = ShardedResultStore(tmp_path)
+        (task,) = make_tasks(graph, 1, "dedup")
+        store.put(task, 0.25)
+        shard = store.shard_path(task.content_hash()[:2])
+        size_after_first = shard.stat().st_size
+        store.put(task, 0.25)
+        assert shard.stat().st_size == size_after_first
+        assert store.appends == 1

@@ -207,3 +207,37 @@ class TestChunking:
                 store.add(graph)
             gains = executor.execute_batch(tasks, store)
             assert gains == SerialExecutor().execute_batch(tasks, store)
+
+
+class TestSessionCrashRecovery:
+    def test_session_survives_worker_death(self, hetero_batch, monkeypatch, tmp_path):
+        """One SIGKILLed worker must not poison the persistent pool.
+
+        The run it crashed completes via retry (bit-identical to serial),
+        the broken pool is replaced, and the *next* run() reuses the
+        replacement — the session never needs to be rebuilt.
+        """
+        from tests.engine import crashkit
+
+        graphs, tasks = hetero_batch
+        with EngineSession(jobs=1) as session:
+            for graph in graphs:
+                session.add_graph(graph)
+            serial_sha = _sha256_of(session.run(tasks))
+
+        monkeypatch.setenv(crashkit.MARKER_ENV, str(tmp_path / "tripped"))
+        monkeypatch.setattr(
+            "repro.engine.executors._run_shared_chunk",
+            crashkit.sigkill_once_chunk,
+        )
+        with EngineSession(jobs=2) as session:
+            for graph in graphs:
+                session.add_graph(graph)
+            assert _sha256_of(session.run(tasks)) == serial_sha
+            assert (tmp_path / "tripped").exists(), "injection never fired"
+            recovered_pool = session._pool
+            assert recovered_pool is not None
+            assert _sha256_of(session.run(tasks)) == serial_sha
+            assert session._pool is recovered_pool, (
+                "the replacement pool must persist like the original"
+            )

@@ -99,3 +99,108 @@ class TestLifecycle:
         segment.unlink()
         with pytest.raises(FileNotFoundError):
             Graph.attach_shared(handle)
+
+
+class TestAbnormalTeardown:
+    """A process dying mid-sweep must not leak /dev/shm segments.
+
+    GraphStore registers emergency hooks (atexit + a chaining SIGTERM
+    handler); these tests run a real subprocess that exports a segment,
+    never reaches close(), and gets killed — then assert the segment is
+    gone from the system.
+    """
+
+    CHILD = """
+import os, signal, sys
+sys.path.insert(0, {src!r})
+from repro.engine.graph_store import GraphStore
+from repro.graph.generators import powerlaw_cluster_graph
+
+store = GraphStore()
+key = store.add_graph(powerlaw_cluster_graph(60, 3, 0.4, rng=0))
+handle = store.export_graph(key)
+print(handle.shm_name, flush=True)
+signal.pause()
+"""
+
+    def _spawn_and_kill(self, signum):
+        import subprocess
+        import sys
+        import time
+        from pathlib import Path
+
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        child = subprocess.Popen(
+            [sys.executable, "-c", self.CHILD.format(src=src)],
+            stdout=subprocess.PIPE, text=True,
+        )
+        try:
+            shm_name = child.stdout.readline().strip()
+            assert shm_name, "child never exported a segment"
+            segment = Path("/dev/shm") / shm_name.lstrip("/")
+            assert segment.exists(), "exported segment not visible in /dev/shm"
+            child.send_signal(signum)
+            child.wait(timeout=30)
+            # The handler unlinks before re-raising; give the fs a moment.
+            for _ in range(50):
+                if not segment.exists():
+                    break
+                time.sleep(0.1)
+            return child.returncode, segment
+        finally:
+            if child.poll() is None:
+                child.kill()
+            child.stdout.close()
+
+    @pytest.mark.skipif(
+        not __import__("pathlib").Path("/dev/shm").is_dir(),
+        reason="needs a POSIX /dev/shm",
+    )
+    def test_sigterm_unlinks_segments_and_dies_conventionally(self):
+        import signal
+
+        returncode, segment = self._spawn_and_kill(signal.SIGTERM)
+        assert not segment.exists(), f"leaked {segment} after SIGTERM"
+        assert returncode == -signal.SIGTERM, (
+            "the chaining handler must re-raise SIGTERM after cleanup"
+        )
+
+    @pytest.mark.skipif(
+        not __import__("pathlib").Path("/dev/shm").is_dir(),
+        reason="needs a POSIX /dev/shm",
+    )
+    def test_sigint_unlinks_segments_via_atexit(self):
+        """KeyboardInterrupt unwinds into a normal exit; atexit must clean."""
+        import signal
+
+        _, segment = self._spawn_and_kill(signal.SIGINT)
+        assert not segment.exists(), f"leaked {segment} after SIGINT"
+
+    def test_forked_child_close_never_unlinks_parent_segments(self, graph):
+        """Ownership is pinned to the creating PID."""
+        import multiprocessing
+
+        from repro.engine.graph_store import GraphStore
+
+        store = GraphStore()
+        try:
+            key = store.add_graph(graph)
+            handle = store.export_graph(key)
+
+            def child_close(result_queue):
+                store.close()  # inherited via fork: must NOT unlink
+                result_queue.put(True)
+
+            context = multiprocessing.get_context("fork")
+            queue = context.Queue()
+            worker = context.Process(target=child_close, args=(queue,))
+            worker.start()
+            assert queue.get(timeout=30) is True
+            worker.join(timeout=30)
+            # Parent can still attach: the segment survived the child.
+            attached, view = Graph.attach_shared(handle)
+            assert attached == graph
+            del attached
+            view.close()
+        finally:
+            store.close()

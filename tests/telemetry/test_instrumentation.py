@@ -165,6 +165,7 @@ class TestResultStoreCounters:
         assert store.stats() == {
             "hits": 1, "misses": 1, "appends": 1, "migrated": 0,
             "shards_loaded": 0,  # the miss found no shard file to parse
+            "reloads": 0,  # nobody else appended behind our back
         }
         assert tracer.counters["result_store.miss"] == 1
         assert tracer.counters["result_store.hit"] == 1
