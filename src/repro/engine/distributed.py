@@ -68,6 +68,7 @@ from repro.engine.executors import (
     run_batch,
 )
 from repro.engine.graph_store import GraphStore
+from repro.engine.integrity import is_disk_fault, write_all
 from repro.engine.result_store import SHARD_PREFIX_LEN, ShardedResultStore
 from repro.engine.tasks import TrialTask
 from repro.graph.adjacency import Graph
@@ -130,6 +131,8 @@ class LeaseDirectory:
             raise ValueError(f"lease ttl must be positive, got {ttl}")
         self.beats = 0
         self.lost = 0
+        #: Heartbeats skipped over transient I/O trouble (lease kept).
+        self.skipped = 0
         self._held: Dict[Tuple[int, int], int] = {}
         self._lock = threading.Lock()
         #: path -> ((owner, beat), first-seen monotonic seconds): staleness
@@ -143,21 +146,58 @@ class LeaseDirectory:
         lo, hi = bounds
         return self.root / f"range-{lo:02x}-{hi:02x}.json"
 
-    def _read(self, path: Path) -> Optional[dict]:
+    def _read_status(self, path: Path) -> Tuple[str, Optional[dict]]:
+        """Read a lease, distinguishing *why* it did not parse.
+
+        Returns ``("ok", entry)`` for a well-formed lease, ``("missing",
+        None)`` when the file does not exist (released or usurped-and-
+        released), ``("corrupt", None)`` for unparseable content, and
+        ``("error", None)`` for any other I/O failure.  The distinction is
+        what keeps heartbeats from self-evicting over a transient read
+        hiccup: only *missing* and *foreign-owned* mean the lease is truly
+        gone.
+        """
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 entry = json.load(handle)
-        except (OSError, json.JSONDecodeError):
-            return None
-        return entry if isinstance(entry, dict) else None
+        except FileNotFoundError:
+            return "missing", None
+        except json.JSONDecodeError:
+            return "corrupt", None
+        except OSError:
+            return "error", None
+        if not isinstance(entry, dict):
+            return "corrupt", None
+        return "ok", entry
+
+    def _read(self, path: Path) -> Optional[dict]:
+        return self._read_status(path)[1]
 
     def _write(self, path: Path, payload: dict) -> None:
-        """Atomic lease (re)write: temp file + rename, never in place."""
+        """Atomic lease (re)write: temp file + rename, never in place.
+
+        os-level writes (not buffered handles) so a failure surfaces at
+        the ``write`` call itself and the temp file can be removed — a
+        buffered handle would defer an ``ENOSPC`` to ``close`` and leak
+        half-written temps.
+        """
         temporary = path.with_name(
             f".{path.name}.{self.owner.replace('/', '_')}.tmp"
         )
-        with open(temporary, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, sort_keys=True)
+        data = json.dumps(payload, sort_keys=True).encode("utf-8")
+        descriptor = os.open(
+            temporary, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644
+        )
+        try:
+            write_all(descriptor, data)
+        except BaseException:
+            os.close(descriptor)
+            try:
+                os.unlink(temporary)
+            except OSError:
+                pass
+            raise
+        os.close(descriptor)
         os.replace(temporary, path)
 
     def _payload(self, bounds: Tuple[int, int], beat: int) -> dict:
@@ -181,9 +221,9 @@ class LeaseDirectory:
         its next heartbeat.
         """
         path = self.lease_path(bounds)
-        self.root.mkdir(parents=True, exist_ok=True)
         tracer = current_tracer()
         try:
+            self.root.mkdir(parents=True, exist_ok=True)
             descriptor = os.open(
                 path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
             )
@@ -195,7 +235,13 @@ class LeaseDirectory:
                 return True
             if not self._expired(path, entry):
                 return False
-            self._write(path, self._payload(bounds, 0))
+            try:
+                self._write(path, self._payload(bounds, 0))
+            except OSError as error:
+                if not is_disk_fault(error):
+                    raise
+                tracer.counter("distributed.claim_fault")
+                return False
             entry = self._read(path)
             if entry is not None and entry.get("owner") == self.owner:
                 tracer.counter("distributed.lease_reclaim")
@@ -204,8 +250,23 @@ class LeaseDirectory:
                     self._held[bounds] = 0
                 return True
             return False
-        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-            json.dump(self._payload(bounds, 0), handle, sort_keys=True)
+        except OSError as error:
+            if not is_disk_fault(error):
+                raise
+            # A disk fault during the O_EXCL create (or the leases-dir
+            # mkdir): the claim simply fails — results still flow through
+            # the store, leases only prevent wasted work.
+            tracer.counter("distributed.claim_fault")
+            return False
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(self._payload(bounds, 0), handle, sort_keys=True)
+        except OSError as error:
+            if not is_disk_fault(error):
+                raise
+            # The lease file exists (possibly empty) and marks the claim;
+            # the first successful heartbeat rewrites it whole.
+            tracer.counter("distributed.claim_fault")
         tracer.counter("distributed.lease_acquire")
         with self._lock:
             self._held[bounds] = 0
@@ -236,8 +297,17 @@ class LeaseDirectory:
         sent = 0
         for bounds, beat in held:
             path = self.lease_path(bounds)
-            entry = self._read(path)
-            if entry is None or entry.get("owner") != self.owner:
+            status, entry = self._read_status(path)
+            if status in ("error", "corrupt"):
+                # Transient I/O trouble reading our own lease (or a torn
+                # network-filesystem read): skip this beat but KEEP the
+                # lease — self-evicting over a hiccup would abandon a
+                # range we are actively computing.  Observers see a stale
+                # beat that recovers on the next successful heartbeat.
+                self.skipped += 1
+                current_tracer().counter("distributed.heartbeat_skip")
+                continue
+            if status == "missing" or entry.get("owner") != self.owner:
                 # Reclaimed out from under us (we were presumed dead).
                 # Abandon the range: whoever took it recomputes the same
                 # results, so dropping out is always safe.
@@ -245,7 +315,17 @@ class LeaseDirectory:
                 with self._lock:
                     self._held.pop(bounds, None)
                 continue
-            self._write(path, self._payload(bounds, beat + 1))
+            try:
+                self._write(path, self._payload(bounds, beat + 1))
+            except OSError as error:
+                if not is_disk_fault(error):
+                    raise
+                # A full/faulty disk must not kill the lease: the range's
+                # results land through the store's own degradation path;
+                # skip the beat and retry on the next pump cycle.
+                self.skipped += 1
+                current_tracer().counter("distributed.heartbeat_skip")
+                continue
             with self._lock:
                 if bounds in self._held:
                     self._held[bounds] = beat + 1

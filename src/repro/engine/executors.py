@@ -57,6 +57,7 @@ from repro.engine.graph_store import (
     SharedLabelsHandle,
     attach_labels,
 )
+from repro.engine.integrity import ensure_finite_gain
 from repro.engine.kernels import execute_tasks_grouped, point_key
 from repro.engine.registry import ATTACKS, DEFENSES, PROTOCOLS
 from repro.engine.result_store import ShardedResultStore
@@ -684,6 +685,10 @@ def _run_through_cache(
         if missing:
             computed = compute([tasks[index] for index in missing])
             for index, gain in zip(missing, computed):
+                # Estimator->store boundary: a NaN/inf gain raises here —
+                # naming the task and seed — before it can reach a shard,
+                # a golden, or an aggregate.
+                gain = ensure_finite_gain(tasks[index], gain)
                 cache.put(tasks[index], gain)
                 gains[index] = gain
         tracer.batch_done(

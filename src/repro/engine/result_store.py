@@ -22,16 +22,38 @@ legacy cache: a version bump, an identity mismatch (hash collision) or a
 torn trailing line all degrade to a miss, never to a wrong result.
 :data:`~repro.engine.cache.CACHE_VERSION` is shared with the legacy cache —
 task identities did not change, so neither did the stamp.
+
+Integrity (see :mod:`repro.engine.integrity`): every line appended here
+carries a CRC32 checksum verified at parse time (pre-checksum lines stay
+readable — the field is optional, no version bump); lines failing
+verification are copied to ``<root>/quarantine/`` with a structured reason
+and counted, never silently dropped; an append hitting ``ENOSPC``/``EIO``
+degrades the store to a loud in-memory overlay so the sweep finishes, with
+the non-durable results reported so ``--resume`` recomputes exactly those.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import os
+import warnings
 from pathlib import Path
-from typing import Dict, Optional, Set, Tuple, Union
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 from repro.engine.cache import CACHE_VERSION, default_cache_dir
+from repro.engine.integrity import (
+    REASON_NON_FINITE,
+    REASON_TORN_LINE,
+    REASON_UNPARSEABLE,
+    CHECKSUM_FIELD,
+    Quarantine,
+    ensure_finite_gain,
+    inspect_line,
+    is_disk_fault,
+    salvage_line,
+    stamp_checksum,
+)
 from repro.engine.tasks import TrialTask, identity_payload
 from repro.telemetry.core import current_tracer
 
@@ -77,8 +99,18 @@ class ShardedResultStore:
         self.migrated = 0
         self.shards_loaded = 0
         self.reloads = 0
+        self.corrupt = 0
+        self.legacy_corrupt = 0
+        #: True once an append hit a disk fault and the store switched to
+        #: the in-memory overlay for the entries it could not persist.
+        self.degraded = False
+        self.quarantine = Quarantine(self.root)
         self._index: Dict[str, Dict[str, dict]] = {}
         self._loaded: Set[str] = set()
+        #: hash -> entry this store computed but could NOT persist (disk
+        #: fault).  Served from memory for the session; reported at close
+        #: so ``--resume`` knows exactly what to recompute.
+        self._non_durable: Dict[str, dict] = {}
         #: prefix -> (size, mtime_ns) of the shard file when last parsed;
         #: None when no file existed.  A mismatch on a miss means another
         #: process appended since — reload instead of recomputing its work.
@@ -90,8 +122,12 @@ class ShardedResultStore:
         ``hits``/``misses`` count :meth:`get` outcomes, ``appends`` counts
         :meth:`put` writes, ``migrated`` counts legacy entries forwarded
         into shards, ``shards_loaded`` counts shard files actually parsed,
-        and ``reloads`` counts staleness-probe re-parses that picked up
-        other processes' appends.
+        ``reloads`` counts staleness-probe re-parses that picked up other
+        processes' appends, ``corrupt``/``quarantined`` count shard lines
+        failing integrity verification (and the quarantine records written
+        for them), ``legacy_corrupt`` counts unreadable legacy per-task
+        files, and ``non_durable`` counts results held only in memory after
+        a disk-fault degradation.
         :meth:`~repro.engine.session.EngineSession.close` logs this
         snapshot through telemetry.
         """
@@ -102,7 +138,23 @@ class ShardedResultStore:
             "migrated": self.migrated,
             "shards_loaded": self.shards_loaded,
             "reloads": self.reloads,
+            "corrupt": self.corrupt,
+            "quarantined": self.quarantine.added,
+            "legacy_corrupt": self.legacy_corrupt,
+            "non_durable": len(self._non_durable),
         }
+
+    @property
+    def non_durable_count(self) -> int:
+        """Results this store computed but could not persist (disk fault)."""
+        return len(self._non_durable)
+
+    def non_durable_tasks(self) -> List[dict]:
+        """Identity payloads of every non-durable result, for reporting."""
+        return [
+            dict(entry.get("task", {}), hash=digest)
+            for digest, entry in sorted(self._non_durable.items())
+        ]
 
     # ------------------------------------------------------------------
     # Layout
@@ -150,12 +202,55 @@ class ShardedResultStore:
             and entry.get("task") == identity_payload(task)
         )
 
+    def _record_corrupt(
+        self, source: str, line_number: int, raw: str, reason: str
+    ) -> None:
+        """Count one damaged record and copy it into the quarantine."""
+        self.corrupt += 1
+        current_tracer().counter("integrity.corrupt")
+        self.quarantine.add(source, line_number, raw, reason)
+
     def _read_legacy(self, task: TrialTask, digest: str) -> Optional[dict]:
-        """Read-through of the legacy per-task file, migrating on a hit."""
+        """Read-through of the legacy per-task file, migrating on a hit.
+
+        Damage here is never silent: an unreadable, unparseable or
+        non-finite legacy file is counted (``result_store.legacy_corrupt``)
+        and quarantined, then degrades to a miss.
+        """
+        path = self._legacy_path(digest)
+        source = f"{digest[:SHARD_PREFIX_LEN]}/{path.name}"
         try:
-            with open(self._legacy_path(digest), "r", encoding="utf-8") as handle:
-                entry = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+            with open(path, "r", encoding="utf-8") as handle:
+                raw = handle.read()
+        except FileNotFoundError:
+            return None
+        except OSError:
+            # Unreadable (permissions, I/O error): nothing to quarantine,
+            # but the skip must be visible.
+            self.legacy_corrupt += 1
+            current_tracer().counter("result_store.legacy_corrupt")
+            return None
+        try:
+            entry = json.loads(raw)
+        except json.JSONDecodeError:
+            self.legacy_corrupt += 1
+            current_tracer().counter("result_store.legacy_corrupt")
+            self._record_corrupt(source, 1, raw, REASON_UNPARSEABLE)
+            return None
+        if not isinstance(entry, dict):
+            self.legacy_corrupt += 1
+            current_tracer().counter("result_store.legacy_corrupt")
+            self._record_corrupt(source, 1, raw, REASON_UNPARSEABLE)
+            return None
+        gain = entry.get("gain")
+        if (
+            not isinstance(gain, (int, float))
+            or isinstance(gain, bool)
+            or not math.isfinite(gain)
+        ):
+            self.legacy_corrupt += 1
+            current_tracer().counter("result_store.legacy_corrupt")
+            self._record_corrupt(source, 1, raw, REASON_NON_FINITE)
             return None
         if not self._valid(entry, task):
             return None
@@ -163,7 +258,7 @@ class ShardedResultStore:
         # this prefix loads, the shard answers.  Migration is best-effort —
         # a read-only or full cache root must degrade to answering from the
         # legacy file, never fail the read.
-        entry = {**entry, "hash": digest}
+        entry = stamp_checksum({**entry, "hash": digest})
         try:
             self._append(digest, entry)
         except OSError:
@@ -189,22 +284,54 @@ class ShardedResultStore:
         # stale on the next miss and triggers a (cheap, idempotent) reload
         # instead of being silently skipped forever.
         self._shard_stats[prefix] = self._shard_stat(prefix)
+        source = f"shard-{prefix}.jsonl"
         try:
-            with open(self.shard_path(prefix), "r", encoding="utf-8") as handle:
-                self.shards_loaded += 1
-                for line in handle:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        entry = json.loads(line)
-                    except json.JSONDecodeError:
-                        continue  # torn/partial line: skip, never poison reads
-                    digest = entry.get("hash")
-                    if isinstance(digest, str):
-                        index[digest] = entry  # duplicates: last writer wins
+            content = self.shard_path(prefix).read_text(encoding="utf-8")
         except OSError:
-            pass
+            self._apply_overlay(prefix, index)
+            return
+        self.shards_loaded += 1
+        lines = content.split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+            terminated = True
+        else:
+            terminated = content.endswith("\n")
+        for number, raw in enumerate(lines, start=1):
+            if not raw.strip():
+                continue
+            if number == len(lines) and not terminated:
+                # Unterminated trailing line: either a concurrent append
+                # in flight (a reload after the writer finishes will parse
+                # it) or an interrupted writer's torn tail (``cache
+                # repair`` quarantines it).  Either way: lenient skip,
+                # never poison reads, never quarantine a live write.
+                current_tracer().counter("result_store.torn_tail")
+                continue
+            entry, reason = inspect_line(raw)
+            if entry is None:
+                # A torn fragment with a complete later line appended
+                # behind it reads as one unparseable line; the trailing
+                # record is intact and checksum-verified — recover it,
+                # quarantine only the fragment.
+                salvaged, fragment = salvage_line(raw)
+                if salvaged is not None:
+                    current_tracer().counter("integrity.salvaged")
+                    self._record_corrupt(
+                        source, number, fragment, REASON_TORN_LINE
+                    )
+                    index[salvaged["hash"]] = salvaged
+                    continue
+                self._record_corrupt(source, number, raw, reason)
+                continue
+            index[entry["hash"]] = entry  # duplicates: last writer wins
+        self._apply_overlay(prefix, index)
+
+    def _apply_overlay(self, prefix: str, index: Dict[str, dict]) -> None:
+        """Re-impose non-durable in-memory results after a (re)load."""
+        for digest, entry in self._non_durable.items():
+            if digest.startswith(prefix):
+                index[digest] = entry
 
     def _reload_if_stale(self, prefix: str) -> bool:
         """Re-parse a loaded shard iff its file changed since; True if so."""
@@ -223,26 +350,83 @@ class ShardedResultStore:
     def put(self, task: TrialTask, gain: float) -> None:
         """Append ``gain`` for ``task`` to its shard (atomic single write).
 
+        The entry is checksummed (:func:`~repro.engine.integrity.
+        stamp_checksum`) and the gain guarded — a non-finite value raises
+        :class:`~repro.engine.integrity.NonFiniteGainError` before it can
+        reach disk.  A disk fault (``ENOSPC``/``EIO``) degrades to the
+        in-memory overlay instead of failing the sweep; a later successful
+        append retries the backlog.
+
         Idempotent against what this store already knows: if the in-memory
-        index holds a byte-identical entry (a cache hit another layer
-        re-put, or a distributed retry of work that did land), no shard
-        line is appended — duplicate lines are harmless (last-writer-wins)
-        but pure bloat.
+        index holds an identical entry (a cache hit another layer re-put,
+        or a distributed retry of work that did land), no shard line is
+        appended — duplicate lines are harmless (last-writer-wins) but
+        pure bloat.
         """
         digest = task.content_hash()
-        entry = {
+        value = ensure_finite_gain(task, gain)
+        entry = stamp_checksum({
             "cache_version": CACHE_VERSION,
             "hash": digest,
             "task": identity_payload(task),
-            "gain": float(gain),
-        }
+            "gain": value,
+        })
         prefix = digest[:SHARD_PREFIX_LEN]
-        if self._index.get(prefix, {}).get(digest) == entry:
+        existing = self._index.get(prefix, {}).get(digest)
+        if existing is not None and self._same_result(existing, entry):
             current_tracer().counter("result_store.dedup")
             return
-        with current_tracer().timer("result_store.append"):
-            self._append(digest, entry)
+        try:
+            with current_tracer().timer("result_store.append"):
+                self._append(digest, entry)
+        except OSError as error:
+            if not is_disk_fault(error):
+                raise
+            self._degrade(digest, entry, error)
+            return
         self.appends += 1
+        if self._non_durable:
+            self._flush_non_durable()
+
+    def _same_result(self, existing: dict, entry: dict) -> bool:
+        """Identical results modulo the checksum field (legacy lines lack it)."""
+        strip = lambda e: {k: v for k, v in e.items() if k != CHECKSUM_FIELD}
+        return strip(existing) == strip(entry)
+
+    def _degrade(self, digest: str, entry: dict, error: OSError) -> None:
+        """Keep a result the disk refused: serve it from memory, loudly."""
+        prefix = digest[:SHARD_PREFIX_LEN]
+        self._index.setdefault(prefix, {})[digest] = entry
+        self._non_durable[digest] = entry
+        current_tracer().counter("integrity.degraded")
+        if not self.degraded:
+            self.degraded = True
+            current_tracer().event(
+                "result_store.degraded", root=str(self.root), error=str(error)
+            )
+            warnings.warn(
+                f"result store at {self.root} hit a disk fault ({error}); "
+                "degrading to an in-memory overlay — the sweep will finish "
+                "but these results are NOT durable; free space and rerun "
+                "with --resume to recompute and persist exactly the "
+                "non-durable tasks",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
+    def _flush_non_durable(self) -> None:
+        """Retry persisting the overlay after a successful append."""
+        for digest in sorted(self._non_durable):
+            entry = self._non_durable[digest]
+            try:
+                self._append(digest, entry)
+            except OSError as error:
+                if is_disk_fault(error):
+                    return  # still degraded; keep serving from memory
+                raise
+            del self._non_durable[digest]
+            self.appends += 1
+            current_tracer().counter("integrity.flushed")
 
     def _append(self, digest: str, entry: dict) -> None:
         prefix = digest[:SHARD_PREFIX_LEN]
@@ -275,6 +459,7 @@ class ShardedResultStore:
         to *grown* shard files; an explicit refresh additionally drops any
         in-memory-only state and is what the resume path
         (``scenario run --resume``) calls before replaying a batch.
+        Non-durable overlay entries survive — they exist nowhere else.
         """
         self._index.clear()
         self._loaded.clear()
@@ -285,6 +470,7 @@ class ShardedResultStore:
 
         Counts distinct stored results (same semantics as ``len``), not raw
         shard lines — duplicate appends and torn lines are not entries.
+        Quarantined records are kept (they document damage, not state).
         """
         removed = len(self)
         if self.root.is_dir():
@@ -293,13 +479,14 @@ class ShardedResultStore:
             for entry in self.root.glob("[0-9a-f][0-9a-f]/*.json"):
                 entry.unlink()
         self.refresh()
+        self._non_durable.clear()
         return removed
 
     def __len__(self) -> int:
         """Distinct stored results (shards plus unmigrated legacy entries)."""
         if not self.root.is_dir():
-            return 0
-        digests = set()
+            return len(self._non_durable)
+        digests = set(self._non_durable)
         for shard in self.root.glob("shard-*.jsonl"):
             prefix = shard.stem[len("shard-"):]
             self._load_shard(prefix)

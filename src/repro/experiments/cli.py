@@ -31,7 +31,8 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.engine.distributed import DistributedExecutor
+from repro.engine import integrity
+from repro.engine.distributed import DEFAULT_LEASE_TTL, DistributedExecutor
 from repro.engine.graph_store import GraphStore
 from repro.engine.result_store import ShardedResultStore
 from repro.experiments import figures
@@ -254,6 +255,58 @@ def _add_worker_command(subparsers) -> None:
     )
 
 
+def _add_cache_commands(subparsers) -> None:
+    """The ``cache`` subcommand family (verify / repair / gc / stats)."""
+    cache = subparsers.add_parser(
+        "cache",
+        help="inspect and maintain the on-disk result store",
+        description="Integrity tooling for the sharded result store: verify "
+        "scans every shard line and legacy file and reports corruption "
+        "per shard; repair compacts shards (corrupt lines move to "
+        "<root>/quarantine/ with a structured reason, superseded duplicates "
+        "drop, last-writer-wins winners are preserved bit-identically); gc "
+        "prunes expired leases, stale temp files and already-migrated "
+        "legacy files; stats prints the same scan without failing on "
+        "damage.  Run these between sweeps — a live append reads as a torn "
+        "trailing line.",
+    )
+    actions = cache.add_subparsers(dest="action", required=True)
+    descriptions = {
+        "verify": "Full-store integrity scan: parse and checksum-verify "
+        "every shard line, probe every legacy per-task file, count "
+        "quarantined records.  Read-only.  Exit code 1 when any corrupt "
+        "record is found.",
+        "repair": "Rewrite damaged shards via write-temp+rename compaction: "
+        "corrupt lines are quarantined with their reason, superseded "
+        "duplicates dropped, surviving last-writer-wins entries preserved "
+        "byte for byte.  Clean shards are left untouched.",
+        "gc": "Prune dead weight: lease files and lease temp files whose "
+        "mtime is older than --lease-ttl (a crashed worker's leftovers), "
+        "and legacy per-task files whose entry already answers from its "
+        "shard (migrated forward, never read again).",
+        "stats": "Print the verify scan's summary (entries, checksummed vs "
+        "legacy lines, superseded duplicates, quarantine size) without "
+        "treating damage as a failure.  Exit code 0 always.",
+    }
+    for name in ("verify", "repair", "gc", "stats"):
+        action = actions.add_parser(
+            name,
+            help=descriptions[name].split(":")[0].lower(),
+            description=descriptions[name],
+        )
+        action.add_argument(
+            "--dir", default=None,
+            help="cache root (default: $REPRO_CACHE_DIR or .repro_cache/)",
+        )
+        if name == "gc":
+            action.add_argument(
+                "--lease-ttl", type=float, default=DEFAULT_LEASE_TTL,
+                help="seconds a lease file may sit unmodified before gc "
+                "treats it as a crashed worker's leftover "
+                "(default: %(default)s)",
+            )
+
+
 def _add_trace_commands(subparsers) -> None:
     """The ``trace`` subcommand family (summarize)."""
     trace = subparsers.add_parser(
@@ -298,6 +351,7 @@ def build_parser() -> argparse.ArgumentParser:
         _add_run_options(artifact, dataset_default="facebook")
     _add_scenario_commands(subparsers)
     _add_worker_command(subparsers)
+    _add_cache_commands(subparsers)
     _add_trace_commands(subparsers)
     return parser
 
@@ -343,18 +397,21 @@ def _scenario_run(args, out) -> int:
     specs = [get_scenario(name, dataset=args.dataset or "") for name in args.names]
     config = _config_from(args)
 
-    # --resume finishes an interrupted sweep from the shared result store:
-    # refresh drops any state a long-lived store instance might hold, so
-    # every result a crashed worker appended before dying answers as a hit
-    # and only the genuinely missing tasks recompute.
-    resume_store: Optional[ShardedResultStore] = None
-    if args.resume:
-        if args.no_cache:
-            print("--resume replays the shared result store; it cannot be "
-                  "combined with --no-cache", file=out)
-            return 2
-        resume_store = ShardedResultStore()
-        resume_store.refresh()
+    # An explicit store instance (rather than letting the session build
+    # one) so this function can report on it afterwards: resume reuse
+    # counts, and — after a disk fault — exactly which results are
+    # non-durable.  --resume additionally refreshes it so every result a
+    # crashed worker appended before dying answers as a hit and only the
+    # genuinely missing tasks recompute.
+    if args.resume and args.no_cache:
+        print("--resume replays the shared result store; it cannot be "
+              "combined with --no-cache", file=out)
+        return 2
+    store: Optional[ShardedResultStore] = None
+    if not args.no_cache:
+        store = ShardedResultStore()
+        if args.resume:
+            store.refresh()
 
     # --trace/--progress install an explicit tracer for this run only;
     # without them the current tracer stays in charge (REPRO_TRACE still
@@ -368,21 +425,22 @@ def _scenario_run(args, out) -> int:
     started = time.perf_counter()
     with use_tracer(tracer) if tracer is not None else _current_tracer_scope():
         if len(specs) == 1:
-            blocks = [run_scenario(specs[0], config, cache=resume_store).format()]
+            blocks = [run_scenario(specs[0], config, cache=store).format()]
         else:
-            results = run_scenarios(specs, config, cache=resume_store)
+            results = run_scenarios(specs, config, cache=store)
             blocks = [
                 f"=== {name} ===\n{result.format()}"
                 for name, result in results.items()
             ]
     print("\n\n".join(blocks), file=out)
-    if resume_store is not None:
-        stats = resume_store.stats()
+    if args.resume and store is not None:
+        stats = store.stats()
         print(
             f"resume: reused {stats['hits']} stored results, "
             f"computed {stats['appends']} missing",
             file=out,
         )
+    _warn_non_durable(store, out)
 
     if args.trace and tracer is not None:
         manifest = RunManifest.from_tracer(
@@ -432,6 +490,47 @@ def _worker_run(args, out) -> int:
         f"{store.root / 'leases'}",
         file=out,
     )
+    _warn_non_durable(store, out)
+    return 0
+
+
+def _warn_non_durable(store: Optional[ShardedResultStore], out) -> None:
+    """Tell the user exactly which results a disk fault kept in memory only."""
+    if store is None or not store.non_durable_count:
+        return
+    print(
+        f"WARNING: {store.non_durable_count} result(s) are NOT durable — a "
+        f"disk fault (ENOSPC/EIO) interrupted appends to {store.root}. "
+        "The printed tables are complete, but these results exist only in "
+        "this process; free space and rerun with --resume to recompute and "
+        "persist exactly the missing tasks:",
+        file=out,
+    )
+    for payload in store.non_durable_tasks():
+        print(
+            f"  {payload['hash'][:16]} metric={payload.get('metric')} "
+            f"attack={payload.get('attack')} seed={payload.get('seed')}",
+            file=out,
+        )
+
+
+def _cache_run(args, out) -> int:
+    """The ``cache verify|repair|gc|stats`` maintenance commands."""
+    root = Path(args.dir) if args.dir else None
+    if args.action == "verify":
+        report = integrity.verify_store(root)
+        print(report.format(), file=out)
+        return 1 if report.corrupt_total else 0
+    if args.action == "repair":
+        report = integrity.repair_store(root)
+        print(report.format(), file=out)
+        return 0
+    if args.action == "gc":
+        report = integrity.gc_store(root, lease_ttl=args.lease_ttl)
+        print(report.format(), file=out)
+        return 0
+    # stats: the verify scan, informational exit code.
+    print(integrity.verify_store(root).format(), file=out)
     return 0
 
 
@@ -514,6 +613,9 @@ def run(argv: Optional[Sequence[str]] = None, out=None) -> int:
     if args.artifact == "worker":
         return _worker_run(args, out)
 
+    if args.artifact == "cache":
+        return _cache_run(args, out)
+
     if args.artifact == "trace":
         return _trace_summarize(args, out)
 
@@ -528,6 +630,7 @@ def run(argv: Optional[Sequence[str]] = None, out=None) -> int:
             lines.append(f"  {name:<12} LF-GDPR vs LDPGen comparison")
         lines.append("  scenario     declarative scenarios (list/run/record/check)")
         lines.append("  worker       one process of a distributed sweep fleet")
+        lines.append("  cache        result-store integrity (verify/repair/gc/stats)")
         print("\n".join(lines), file=out)
         return 0
 

@@ -15,15 +15,30 @@ from repro.graph.adjacency import Graph
 PathLike = Union[str, os.PathLike]
 
 
-def read_edge_list(path: PathLike, num_nodes: int | None = None) -> Graph:
-    """Read a whitespace-separated edge list (``u v`` per line).
+def read_edge_list(
+    path: PathLike,
+    num_nodes: int | None = None,
+    *,
+    allow_self_loops: bool = False,
+    allow_duplicates: bool = False,
+) -> Graph:
+    """Read and validate a whitespace-separated edge list (``u v`` per line).
 
     Lines starting with ``#`` are comments.  Node ids may be arbitrary
     non-negative integers; they are compacted to ``0..n-1`` preserving order
     of first appearance unless ``num_nodes`` is given, in which case ids are
     taken literally and must be < ``num_nodes``.
+
+    Real-dataset files are validated strictly — every rejection names the
+    offending line: malformed or non-integer tokens, negative ids, ids
+    ``>= num_nodes``, self-loops and duplicate (undirected) edges all raise
+    ``ValueError``.  Dataset dumps that legitimately carry self-loops or
+    both edge directions can opt out per class of damage:
+    ``allow_self_loops=True`` skips loops, ``allow_duplicates=True``
+    collapses repeats — both silently, matching the old lenient behavior.
     """
     raw_edges: list[tuple[int, int]] = []
+    seen: dict[tuple[int, int], int] = {}
     with open(path, "r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
             stripped = line.strip()
@@ -32,9 +47,38 @@ def read_edge_list(path: PathLike, num_nodes: int | None = None) -> Graph:
             parts = stripped.split()
             if len(parts) < 2:
                 raise ValueError(f"{path}:{line_number}: expected 'u v', got {stripped!r}")
-            u, v = int(parts[0]), int(parts[1])
+            try:
+                u, v = int(parts[0]), int(parts[1])
+            except ValueError:
+                raise ValueError(
+                    f"{path}:{line_number}: non-integer node id in {stripped!r}"
+                ) from None
+            if u < 0 or v < 0:
+                raise ValueError(
+                    f"{path}:{line_number}: negative node id {min(u, v)}"
+                )
+            if num_nodes is not None and max(u, v) >= num_nodes:
+                raise ValueError(
+                    f"{path}:{line_number}: node id {max(u, v)} out of range "
+                    f"for num_nodes={num_nodes}"
+                )
             if u == v:
-                continue
+                if allow_self_loops:
+                    continue
+                raise ValueError(
+                    f"{path}:{line_number}: self-loop {u} {v} "
+                    "(pass allow_self_loops=True to skip loops)"
+                )
+            key = (u, v) if u < v else (v, u)
+            first = seen.setdefault(key, line_number)
+            if first != line_number:
+                if allow_duplicates:
+                    continue
+                raise ValueError(
+                    f"{path}:{line_number}: duplicate edge {u} {v} "
+                    f"(first at line {first}; pass allow_duplicates=True "
+                    "to collapse repeats)"
+                )
             raw_edges.append((u, v))
 
     if num_nodes is not None:

@@ -155,7 +155,33 @@ def golden_config(golden: dict) -> ExperimentConfig:
 
 
 def _close(actual: float, expected: float, rtol: float, atol: float) -> bool:
+    """Tolerance comparison with explicit non-finite semantics.
+
+    ``math.isclose`` is NaN-poisoned (``NaN != NaN``) and would report an
+    inf-vs-inf pair as a confusing numeric diff; here two NaNs (or two
+    same-signed infinities) compare equal — a fixture recorded from a buggy
+    estimator should keep matching itself — while a finite/non-finite pair
+    is always a mismatch.
+    """
+    actual, expected = float(actual), float(expected)
+    if math.isnan(actual) or math.isnan(expected):
+        return math.isnan(actual) and math.isnan(expected)
+    if math.isinf(actual) or math.isinf(expected):
+        return actual == expected
     return math.isclose(actual, expected, rel_tol=rtol, abs_tol=atol)
+
+
+def _diff_message(key: str, name: str, kind: str, index: int,
+                  value, want: float, have: float) -> str:
+    """One mismatch line; non-finite values are called out as such."""
+    if not (math.isfinite(float(want)) and math.isfinite(float(have))):
+        return (
+            f"{key}/{name}: {kind}[{index}] (value={value!r}) "
+            f"non-finite value: {want!r} -> {have!r}"
+        )
+    return (
+        f"{key}/{name}: {kind}[{index}] (value={value!r}) {want!r} -> {have!r}"
+    )
 
 
 def compare_golden(golden: dict, result: ScenarioResult, spec: ScenarioSpec) -> List[str]:
@@ -197,8 +223,10 @@ def compare_golden(golden: dict, result: ScenarioResult, spec: ScenarioSpec) -> 
                 for index, (have, want) in enumerate(zip(actual_curve, expected_curve)):
                     if not _close(have, want, rtol, atol):
                         problems.append(
-                            f"{key}/{name}: {kind}[{index}] "
-                            f"(value={sweep.values[index]!r}) {want!r} -> {have!r}"
+                            _diff_message(
+                                key, name, kind, index,
+                                sweep.values[index], want, have,
+                            )
                         )
     return problems
 

@@ -1,0 +1,134 @@
+"""os-level disk-fault injection for storage-plane tests.
+
+The sibling :mod:`crashkit` kills whole worker *processes*; this module
+makes individual *writes* fail the way real disks do — short writes, torn
+writes at byte *k*, ``EIO``, ``ENOSPC`` after a byte budget — so the result
+store, lease directory and distributed workers can prove their graceful-
+degradation paths against the faults they were built for.
+
+Scoping is the load-bearing trick: ``os.write`` is patched globally (the
+engine modules all do ``import os``, so ``repro.engine.result_store.os``
+*is* the one global module), but a :class:`FaultInjector` only intercepts
+descriptors whose ``/proc/self/fd`` target lives under its root directory.
+pytest's own tempfiles, pipes and capture machinery keep writing through
+the real syscall, and a single armed injector breaks exactly the cache
+root under test.
+
+Like crashkit, the wrappers survive ``fork``: arm an injector inside a
+forked worker (assign ``os.write = injector.write`` — the child's patch is
+process-local) to tear a concurrent append mid-line.
+"""
+
+import errno
+import os
+
+#: The genuine syscall wrappers, captured at import time.
+REAL_WRITE = os.write
+REAL_REPLACE = os.replace
+
+
+def fd_path(descriptor: int) -> str:
+    """The filesystem path behind an fd ('' for pipes/sockets/closed fds)."""
+    try:
+        return os.readlink(f"/proc/self/fd/{descriptor}")
+    except OSError:
+        return ""
+
+
+class FaultInjector:
+    """A stateful ``os.write`` stand-in scoped to files under ``root``.
+
+    Arm exactly one fault mode, then install (or assign in a forked
+    child).  ``calls`` counts intercepted writes, ``tripped`` counts
+    faults actually delivered; :meth:`disarm` restores pass-through
+    behavior without unpatching.
+    """
+
+    def __init__(self, root):
+        self.root = str(root)
+        self.mode = None
+        self.calls = 0
+        self.tripped = 0
+        self._limit = 0
+        self._budget = 0
+        self._errno = errno.EIO
+        self.armed = True
+
+    # ------------------------------------------------------------------
+    # Arming (each returns self for one-line setup)
+    # ------------------------------------------------------------------
+    def short_writes(self, limit: int = 7) -> "FaultInjector":
+        """Every matched write lands at most ``limit`` bytes (no error)."""
+        self.mode, self._limit = "short", int(limit)
+        return self
+
+    def torn_write(self, at_byte: int) -> "FaultInjector":
+        """One-shot: the next matched write lands ``at_byte`` bytes then
+        raises ``EIO`` — the classic torn append a dying disk leaves."""
+        self.mode, self._limit = "torn", int(at_byte)
+        return self
+
+    def enospc_after(self, nbytes: int) -> "FaultInjector":
+        """Allow ``nbytes`` more bytes under the root, then every matched
+        write raises ``ENOSPC`` — a disk filling up mid-sweep."""
+        self.mode, self._budget = "enospc", int(nbytes)
+        return self
+
+    def fail(self, error: int = errno.EIO) -> "FaultInjector":
+        """Every matched write (and rename into the root) raises ``error``."""
+        self.mode, self._errno = "fail", int(error)
+        return self
+
+    def disarm(self) -> "FaultInjector":
+        self.armed = False
+        return self
+
+    # ------------------------------------------------------------------
+    # The patched syscalls
+    # ------------------------------------------------------------------
+    def _matches(self, descriptor: int) -> bool:
+        return fd_path(descriptor).startswith(self.root)
+
+    def write(self, descriptor: int, data) -> int:
+        if not self.armed or self.mode is None or not self._matches(descriptor):
+            return REAL_WRITE(descriptor, data)
+        data = bytes(data)
+        self.calls += 1
+        if self.mode == "short":
+            if len(data) > self._limit:
+                self.tripped += 1
+                return REAL_WRITE(descriptor, data[: self._limit])
+            return REAL_WRITE(descriptor, data)
+        if self.mode == "torn":
+            self.mode = None  # one-shot
+            self.tripped += 1
+            if self._limit > 0:
+                REAL_WRITE(descriptor, data[: self._limit])
+            raise OSError(errno.EIO, "faultkit: injected torn write")
+        if self.mode == "enospc":
+            if self._budget >= len(data):
+                self._budget -= len(data)
+                return REAL_WRITE(descriptor, data)
+            self.tripped += 1
+            raise OSError(errno.ENOSPC, "faultkit: injected disk full")
+        self.tripped += 1  # mode == "fail"
+        raise OSError(self._errno, "faultkit: injected write failure")
+
+    def replace(self, source, destination):
+        if (
+            self.armed
+            and self.mode == "fail"
+            and str(destination).startswith(self.root)
+        ):
+            self.tripped += 1
+            raise OSError(self._errno, "faultkit: injected rename failure")
+        return REAL_REPLACE(source, destination)
+
+    # ------------------------------------------------------------------
+    # Installation
+    # ------------------------------------------------------------------
+    def install(self, monkeypatch) -> "FaultInjector":
+        """Patch ``os.write``/``os.replace`` for the test (auto-undone)."""
+        monkeypatch.setattr(os, "write", self.write)
+        monkeypatch.setattr(os, "replace", self.replace)
+        return self

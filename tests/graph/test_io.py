@@ -38,10 +38,16 @@ class TestRead:
         assert g.num_nodes == 3
         assert g.num_edges == 2
 
-    def test_self_loops_dropped(self, tmp_path):
+    def test_self_loops_rejected_by_default(self, tmp_path):
         path = tmp_path / "edges.txt"
         path.write_text("0 0\n0 1\n")
-        g = read_edge_list(path)
+        with pytest.raises(ValueError, match=r"edges\.txt:1: self-loop 0 0"):
+            read_edge_list(path)
+
+    def test_self_loops_skipped_on_opt_out(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 0\n0 1\n")
+        g = read_edge_list(path, allow_self_loops=True)
         assert g.num_edges == 1
 
     def test_explicit_num_nodes(self, tmp_path):
@@ -56,7 +62,34 @@ class TestRead:
         with pytest.raises(ValueError, match="expected 'u v'"):
             read_edge_list(path)
 
-    def test_duplicate_edges_collapse(self, tmp_path):
+    def test_non_integer_id_names_the_line(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 1\n1 two\n")
+        with pytest.raises(ValueError, match=r"edges\.txt:2: non-integer"):
+            read_edge_list(path)
+
+    def test_negative_id_names_the_line(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 1\n-3 2\n")
+        with pytest.raises(ValueError, match=r"edges\.txt:2: negative node id -3"):
+            read_edge_list(path)
+
+    def test_id_out_of_range_for_num_nodes(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 1\n1 7\n")
+        with pytest.raises(ValueError, match=r"edges\.txt:2: node id 7 out of range"):
+            read_edge_list(path, num_nodes=5)
+
+    def test_duplicate_edges_rejected_by_default(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 1\n1 0\n")
+        with pytest.raises(
+            ValueError, match=r"edges\.txt:2: duplicate edge 1 0 \(first at line 1"
+        ):
+            read_edge_list(path)
+
+    def test_duplicate_edges_collapse_on_opt_out(self, tmp_path):
         path = tmp_path / "edges.txt"
         path.write_text("0 1\n1 0\n0 1\n")
-        assert read_edge_list(path).num_edges == 1
+        g = read_edge_list(path, allow_duplicates=True)
+        assert g.num_edges == 1

@@ -105,6 +105,24 @@ class TestHarnessSensitivity:
         problems = golden_store.compare_golden(golden, result, spec)
         assert any("table rows changed" in p for p in problems)
 
+    def test_non_finite_fixture_value_is_named_as_such(self):
+        """A NaN in the fixture must read 'non-finite value', not a numeric diff."""
+        spec, golden, result = self._golden_and_result()
+        panel = next(iter(golden["panels"].values()))
+        panel["series"]["MGA"]["mean"][0] = float("nan")
+        problems = golden_store.compare_golden(golden, result, spec)
+        assert any("non-finite value" in p for p in problems)
+
+    def test_close_has_explicit_non_finite_semantics(self):
+        nan, inf = float("nan"), float("inf")
+        close = golden_store._close
+        assert close(nan, nan, 1e-9, 0.0), "two NaNs must match themselves"
+        assert close(inf, inf, 1e-9, 0.0)
+        assert not close(inf, -inf, 1e-9, 0.0)
+        assert not close(nan, 1.0, 1e-9, 0.0)
+        assert not close(1.0, inf, 1e-9, 0.0)
+        assert close(1.0, 1.0 + 1e-12, 1e-9, 0.0)
+
     def test_batch_hash_pins_seed_derivation(self):
         """The recorded hash covers task identities, so a seed change trips it."""
         name = "fig6"

@@ -166,6 +166,8 @@ class TestResultStoreCounters:
             "hits": 1, "misses": 1, "appends": 1, "migrated": 0,
             "shards_loaded": 0,  # the miss found no shard file to parse
             "reloads": 0,  # nobody else appended behind our back
+            "corrupt": 0, "quarantined": 0, "legacy_corrupt": 0,
+            "non_durable": 0,  # every append above reached the disk
         }
         assert tracer.counters["result_store.miss"] == 1
         assert tracer.counters["result_store.hit"] == 1
