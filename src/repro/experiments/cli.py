@@ -36,7 +36,15 @@ from repro.engine.distributed import DEFAULT_LEASE_TTL, DistributedExecutor
 from repro.engine.graph_store import GraphStore
 from repro.engine.result_store import ShardedResultStore
 from repro.experiments import figures
-from repro.experiments.config import DATASET_NAMES, ExperimentConfig
+from repro.experiments.config import ExperimentConfig
+from repro.graph.datasets import (
+    DATASETS,
+    REAL_DATASETS,
+    cached_dataset_path,
+    dataset_statistics,
+    fetch_dataset,
+    known_dataset_names,
+)
 from repro.experiments.reporting import format_table
 from repro.scenarios import golden as golden_store
 from repro.scenarios.registry import SCENARIOS, get_scenario, scenario_names
@@ -77,8 +85,8 @@ def _add_run_options(parser: argparse.ArgumentParser, dataset_default: Optional[
     parser.add_argument(
         "--dataset",
         default=dataset_default,
-        choices=DATASET_NAMES,
-        help="dataset surrogate"
+        choices=known_dataset_names(),
+        help="dataset surrogate, or a fetched snap-* real dataset"
         + ("" if dataset_default else " (default: the scenario's own dataset)"),
     )
     parser.add_argument(
@@ -307,6 +315,64 @@ def _add_cache_commands(subparsers) -> None:
             )
 
 
+def _add_dataset_commands(subparsers) -> None:
+    """The ``dataset`` subcommand family (list / fetch / stats)."""
+    dataset = subparsers.add_parser(
+        "dataset",
+        help="real-dataset cache: list, fetch once, print statistics",
+        description="Manage the content-addressed real-dataset cache next "
+        "to the result store (REPRO_CACHE_DIR): list shows every surrogate "
+        "and snap-* real dataset with its cache state; fetch downloads (or "
+        "ingests a local copy of) one SNAP edge list exactly once, "
+        "checksum-verified; stats loads a dataset and prints its node/edge "
+        "counts.  Fetched datasets plug into every experiment via "
+        "--dataset snap-<name>.",
+    )
+    actions = dataset.add_subparsers(dest="action", required=True)
+
+    actions.add_parser(
+        "list",
+        help="enumerate surrogates and real datasets with cache state",
+        description="List every loadable dataset: the four deterministic "
+        "surrogates (always available) and the four genuine SNAP releases "
+        "with whether and where each is cached.",
+    )
+
+    fetcher = actions.add_parser(
+        "fetch",
+        help="download and cache one real dataset (idempotent)",
+        description="Stream one SNAP edge list into the content-addressed "
+        "cache: gzip is decompressed on the fly, the raw bytes are "
+        "sha256-hashed (pinned on first fetch, verified on every load), "
+        "node ids are remapped to dense codes and the parsed graph is "
+        "published atomically.  Already-cached datasets return immediately "
+        "unless --force.",
+    )
+    fetcher.add_argument("name", help="real dataset name (see 'dataset list')")
+    fetcher.add_argument(
+        "--source", default=None,
+        help="local file or mirror URL standing in for the canonical SNAP "
+        "URL — required in offline environments",
+    )
+    fetcher.add_argument(
+        "--force", action="store_true",
+        help="re-fetch even when a cache entry exists",
+    )
+
+    statser = actions.add_parser(
+        "stats",
+        help="load one dataset and print node/edge counts",
+        description="Load a dataset (surrogate or fetched real release) and "
+        "print its node count, edge count and average degree.",
+    )
+    statser.add_argument("name", help="dataset name (see 'dataset list')")
+    statser.add_argument(
+        "--scale", type=float, default=None,
+        help="scale in (0, 1]; surrogates default to their laptop scale, "
+        "real datasets to full size",
+    )
+
+
 def _add_trace_commands(subparsers) -> None:
     """The ``trace`` subcommand family (summarize)."""
     trace = subparsers.add_parser(
@@ -352,6 +418,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_commands(subparsers)
     _add_worker_command(subparsers)
     _add_cache_commands(subparsers)
+    _add_dataset_commands(subparsers)
     _add_trace_commands(subparsers)
     return parser
 
@@ -544,6 +611,49 @@ class _current_tracer_scope:
         pass
 
 
+def _dataset_run(args, out) -> int:
+    """The ``dataset list|fetch|stats`` cache commands."""
+    if args.action == "list":
+        rows = []
+        for name in sorted(DATASETS):
+            rows.append([name, "surrogate", "always available", DATASETS[name].description])
+        for name in sorted(REAL_DATASETS):
+            cached = cached_dataset_path(name)
+            state = f"cached: {cached.parent}" if cached else "not fetched"
+            rows.append([name, "real", state, REAL_DATASETS[name].description])
+        print(
+            format_table(
+                ["dataset", "kind", "cache", "description"], rows, title="datasets"
+            ),
+            file=out,
+        )
+        return 0
+    if args.action == "fetch":
+        try:
+            path = fetch_dataset(args.name, source=args.source, force=args.force)
+        except (KeyError, RuntimeError, ValueError) as error:
+            print(str(error).strip("'\""), file=out)
+            return 1
+        print(f"cached {args.name} -> {path.parent}", file=out)
+        return 0
+    # stats
+    try:
+        nodes, edges = dataset_statistics(args.name, scale=args.scale)
+    except (KeyError, RuntimeError) as error:
+        print(str(error).strip("'\""), file=out)
+        return 1
+    average = 2.0 * edges / nodes if nodes else 0.0
+    print(
+        format_table(
+            ["dataset", "nodes", "edges", "avg degree"],
+            [[args.name, nodes, edges, f"{average:.2f}"]],
+            title="dataset statistics",
+        ),
+        file=out,
+    )
+    return 0
+
+
 def _trace_summarize(args, out) -> int:
     path = Path(args.path)
     if not path.is_file():
@@ -616,6 +726,9 @@ def run(argv: Optional[Sequence[str]] = None, out=None) -> int:
     if args.artifact == "cache":
         return _cache_run(args, out)
 
+    if args.artifact == "dataset":
+        return _dataset_run(args, out)
+
     if args.artifact == "trace":
         return _trace_summarize(args, out)
 
@@ -631,6 +744,7 @@ def run(argv: Optional[Sequence[str]] = None, out=None) -> int:
         lines.append("  scenario     declarative scenarios (list/run/record/check)")
         lines.append("  worker       one process of a distributed sweep fleet")
         lines.append("  cache        result-store integrity (verify/repair/gc/stats)")
+        lines.append("  dataset      real-dataset cache (list/fetch/stats)")
         print("\n".join(lines), file=out)
         return 0
 

@@ -3,13 +3,30 @@
 from repro.graph.adjacency import Graph
 from repro.graph.bitmatrix import BitMatrix, density_threshold, should_use_packed
 from repro.graph.bittensor import BitTensor
-from repro.graph.datasets import DATASETS, DatasetSpec, load_dataset
+from repro.graph.datasets import (
+    DATASETS,
+    REAL_DATASETS,
+    DatasetSpec,
+    RealDatasetSpec,
+    fetch_dataset,
+    known_dataset_names,
+    load_dataset,
+    load_real_dataset,
+)
 from repro.graph.generators import (
     barabasi_albert_graph,
     erdos_renyi_graph,
     powerlaw_cluster_graph,
 )
 from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.streaming import (
+    iter_packed_row_blocks,
+    rows_per_block,
+    should_stream,
+    streaming_degrees,
+    streaming_intra_community_edges,
+    streaming_triangles_per_node,
+)
 from repro.graph.metrics import (
     average_degree,
     degree_centrality,
@@ -32,13 +49,24 @@ __all__ = [
     "density_threshold",
     "should_use_packed",
     "DATASETS",
+    "REAL_DATASETS",
     "DatasetSpec",
+    "RealDatasetSpec",
+    "fetch_dataset",
+    "known_dataset_names",
     "load_dataset",
+    "load_real_dataset",
     "barabasi_albert_graph",
     "erdos_renyi_graph",
     "powerlaw_cluster_graph",
     "read_edge_list",
     "write_edge_list",
+    "iter_packed_row_blocks",
+    "rows_per_block",
+    "should_stream",
+    "streaming_degrees",
+    "streaming_intra_community_edges",
+    "streaming_triangles_per_node",
     "average_degree",
     "degree_centrality",
     "delta_stats",

@@ -122,8 +122,23 @@ def accumulate_bits(positions: np.ndarray, bit: np.ndarray, size: int) -> np.nda
     ``np.bitwise_or.at`` ufunc for near-dense sets.  bincount accumulates in
     float64, hence the split into two 32-bit halves (every partial sum stays
     < 2^32, exactly representable).
+
+    Sparse sets (set bits ≪ ``size``, the streaming row blocks of barely
+    perturbed million-node graphs) skip the bincount: its cost is O(``size``)
+    regardless of how few bits are set.  There the bits are grouped by word
+    with one argsort and OR-reduced per group — O(k log k) in the k set bits,
+    with only the zeroed output ever touching all ``size`` words.
     """
     out = np.zeros(size, dtype=np.uint64)
+    if positions.size == 0:
+        return out
+    if positions.size < size // 8:
+        values = np.left_shift(np.uint64(1), bit.astype(np.uint64))
+        order = np.argsort(positions, kind="stable")
+        grouped = positions[order]
+        starts = np.flatnonzero(np.r_[True, grouped[1:] != grouped[:-1]])
+        out[grouped[starts]] = np.bitwise_or.reduceat(values[order], starts)
+        return out
     low = bit < 32
     if low.any():
         weights = (1 << bit[low]).astype(np.float64)
@@ -423,6 +438,22 @@ class BitMatrix:
         outside[nodes] = False
         counts[outside] = term[outside] // 2
         return counts
+
+    def row_range(self, start: int, stop: int) -> np.ndarray:
+        """Zero-copy packed view of rows ``[start, stop)``.
+
+        The unit of out-of-core transport: a block of per-user adjacency
+        bit rows, ``(stop - start) x num_words`` uint64, sized by callers to
+        honour ``REPRO_DENSE_MAX_BYTES`` (see
+        :func:`repro.graph.streaming.rows_per_block`).  Identical bits to
+        the blocks :func:`repro.graph.streaming.iter_packed_row_blocks`
+        builds without ever materializing this matrix.
+        """
+        if not 0 <= start <= stop <= self.num_nodes:
+            raise ValueError(
+                f"row range [{start}, {stop}) out of [0, {self.num_nodes}]"
+            )
+        return self.rows[start:stop]
 
     def intra_community_edges(self, labels: np.ndarray, num_communities: int) -> np.ndarray:
         """Number of edges with both endpoints in each community.

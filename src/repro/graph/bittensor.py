@@ -131,6 +131,21 @@ class BitTensor:
         """
         return BitMatrix(self.num_nodes, self.planes[trial])
 
+    def row_range(self, start: int, stop: int) -> np.ndarray:
+        """Zero-copy ``(trials, stop - start, words)`` packed row-block view.
+
+        The trial-stacked counterpart of :meth:`BitMatrix.row_range`: a
+        block of every trial's per-user report rows, for shipping user
+        ranges to workers without slicing plane by plane.  Callers size
+        ``stop - start`` with :func:`repro.graph.streaming.rows_per_block`
+        (divided by ``num_trials``) to honour ``REPRO_DENSE_MAX_BYTES``.
+        """
+        if not 0 <= start <= stop <= self.num_nodes:
+            raise ValueError(
+                f"row range [{start}, {stop}) out of [0, {self.num_nodes}]"
+            )
+        return self.planes[:, start:stop, :]
+
     # ------------------------------------------------------------------
     # Exact integer counts, batched over the trial axis
     # ------------------------------------------------------------------

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.graph.adjacency import Graph
 from repro.graph.bitmatrix import BitMatrix, should_use_packed
+from repro.graph.streaming import should_stream, streaming_triangles_per_node
 from repro.telemetry.core import current_tracer
 from repro.utils.sparse import decode_pairs, pair_count
 
@@ -81,7 +82,10 @@ def triangles_per_node(graph: Graph) -> np.ndarray:
     Density-adaptive: graphs above the packed-dispatch threshold (e.g. the
     near-dense output of low-epsilon randomized response) are counted via
     bit-packed row-AND + popcount (:class:`repro.graph.bitmatrix.BitMatrix`);
-    sparser graphs via ``diag(A @ A @ A) / 2`` on scipy CSR matrices.  Both
+    dense-leaning graphs whose packed matrix exceeds
+    ``REPRO_DENSE_MAX_BYTES`` stream packed row blocks instead
+    (:func:`repro.graph.streaming.streaming_triangles_per_node`); sparser
+    graphs go via ``diag(A @ A @ A) / 2`` on scipy CSR matrices.  All three
     backends produce exact integer counts, so the dispatch never changes a
     result.
     """
@@ -90,6 +94,8 @@ def triangles_per_node(graph: Graph) -> np.ndarray:
         return np.zeros(0, dtype=np.int64)
     if should_use_packed(graph):
         return _triangles_packed(graph)
+    if should_stream(graph):
+        return streaming_triangles_per_node(graph)
     return _triangles_sparse(graph)
 
 

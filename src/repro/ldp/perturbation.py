@@ -18,15 +18,41 @@ calibration formulas.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Iterator, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.graph.adjacency import Graph
+from repro.graph.streaming import iter_packed_row_blocks
 from repro.ldp.mechanisms import rr_keep_probability
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.sparse import merge_sorted_disjoint, pair_count, sample_pairs_excluding
 from repro.utils.validation import check_non_negative
+
+
+def _perturbed_codes(
+    codes: np.ndarray,
+    num_nodes: int,
+    non_edges: int,
+    keep: float,
+    generator: np.random.Generator,
+) -> np.ndarray:
+    """One randomized-response draw as sorted pair codes.
+
+    This is the single sampling core every perturbation entry point funnels
+    through, so their RNG consumption is draw-for-draw identical by
+    construction: one uniform block over the edges, one binomial for the
+    flip count, then the rejection-sampling draws of
+    :func:`~repro.utils.sparse.sample_pairs_excluding`.
+    """
+    survivors = codes[generator.random(codes.size) < keep]
+    flip_count = int(generator.binomial(non_edges, 1.0 - keep)) if non_edges > 0 else 0
+    flipped = sample_pairs_excluding(num_nodes, flip_count, codes, generator)
+    # Survivors are a sorted subset of the original codes; flipped pairs were
+    # sampled outside them.  Sorting the (smaller) flipped set and merging two
+    # disjoint sorted arrays replaces the np.unique re-sort over the full
+    # near-dense edge set the previous construction paid.
+    return merge_sorted_disjoint(survivors, np.sort(flipped))
 
 
 def perturb_graph(graph: Graph, epsilon: float, rng: RngLike = None) -> Graph:
@@ -39,19 +65,9 @@ def perturb_graph(graph: Graph, epsilon: float, rng: RngLike = None) -> Graph:
     generator = ensure_rng(rng)
     keep = rr_keep_probability(epsilon)
     n = graph.num_nodes
-
     codes = graph.edge_codes
-    survivors = codes[generator.random(codes.size) < keep]
-
     non_edges = pair_count(n) - codes.size
-    flip_count = int(generator.binomial(non_edges, 1.0 - keep)) if non_edges > 0 else 0
-    flipped = sample_pairs_excluding(n, flip_count, codes, generator)
-
-    # Survivors are a sorted subset of the original codes; flipped pairs were
-    # sampled outside them.  Sorting the (smaller) flipped set and merging two
-    # disjoint sorted arrays replaces the np.unique re-sort over the full
-    # near-dense edge set the previous construction paid.
-    merged = merge_sorted_disjoint(survivors, np.sort(flipped))
+    merged = _perturbed_codes(codes, n, non_edges, keep, generator)
     return Graph.from_codes(n, merged, assume_sorted_unique=True)
 
 
@@ -77,14 +93,38 @@ def perturb_graph_batch(
     perturbed: List[Graph] = []
     for rng in rngs:
         generator = ensure_rng(rng)
-        survivors = codes[generator.random(codes.size) < keep]
-        flip_count = (
-            int(generator.binomial(non_edges, 1.0 - keep)) if non_edges > 0 else 0
-        )
-        flipped = sample_pairs_excluding(n, flip_count, codes, generator)
-        merged = merge_sorted_disjoint(survivors, np.sort(flipped))
+        merged = _perturbed_codes(codes, n, non_edges, keep, generator)
         perturbed.append(Graph.from_codes(n, merged, assume_sorted_unique=True))
     return perturbed
+
+
+def perturb_graph_stream(
+    graph: Graph,
+    epsilon: float,
+    rng: RngLike = None,
+    *,
+    block_rows: int | None = None,
+    max_bytes: int | None = None,
+) -> Tuple[Graph, Iterator[Tuple[int, int, np.ndarray]]]:
+    """Randomized response served as packed per-user row blocks.
+
+    Returns ``(perturbed, blocks)``: the perturbed graph in its sparse pair
+    code form — the irreducible O(E') representation — plus an iterator of
+    ``(start, stop, rows)`` packed uint64 row blocks of its adjacency
+    matrix, block height honouring ``REPRO_DENSE_MAX_BYTES`` by default.
+    The full ``n^2/8``-byte matrix is never materialized: each block is
+    built on demand from the sorted codes and dropped when the consumer
+    moves on.
+
+    RNG identity: the sampling happens **eagerly in this call** through the
+    same core as :func:`perturb_graph` — the stream consumes its generator
+    draw-for-draw identically to the in-memory path, and ``perturbed``
+    equals ``perturb_graph(graph, epsilon, rng)`` bit for bit for any block
+    height (block iteration itself draws nothing).
+    """
+    perturbed = perturb_graph(graph, epsilon, rng)
+    blocks = iter_packed_row_blocks(perturbed, block_rows, max_bytes=max_bytes)
+    return perturbed, blocks
 
 
 def expected_perturbed_degree(degree: float, num_nodes: int, epsilon: float) -> float:

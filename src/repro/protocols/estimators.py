@@ -20,6 +20,7 @@ import numpy as np
 from repro.graph.adjacency import Graph
 from repro.graph.bitmatrix import BitMatrix, should_use_packed
 from repro.graph.metrics import edge_density, triangles_per_node
+from repro.graph.streaming import should_stream, streaming_intra_community_edges
 from repro.ldp.mechanisms import calibrate_bit_counts, rr_keep_probability
 from repro.utils.validation import check_positive
 
@@ -197,12 +198,16 @@ def observed_intra_community_edges(
 ) -> np.ndarray:
     """Exact per-community intra-edge counts of the perturbed graph.
 
-    Both branches count the same integers, so the density dispatch is
-    bit-identical; the packed branch popcounts masked rows instead of
-    decoding and bucketing every edge of a near-dense perturbed graph.
+    All branches count the same integers, so the dispatch is bit-identical;
+    the packed branch popcounts masked rows instead of decoding and
+    bucketing every edge of a near-dense perturbed graph, and graphs whose
+    packed form exceeds ``REPRO_DENSE_MAX_BYTES`` accumulate the counts in
+    bounded-memory edge chunks.
     """
     if should_use_packed(perturbed):
         return BitMatrix.from_graph(perturbed).intra_community_edges(labels, num_communities)
+    if should_stream(perturbed):
+        return streaming_intra_community_edges(perturbed, labels, num_communities)
     rows, cols = perturbed.edge_arrays()
     same = labels[rows] == labels[cols]
     return np.bincount(labels[rows[same]], minlength=num_communities)

@@ -21,7 +21,8 @@ only by the attacker's action.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -33,6 +34,7 @@ from repro.graph.metrics import (
     triangles_per_node_cached,
     triangles_per_node_incremental,
 )
+from repro.graph.streaming import iter_packed_row_blocks
 from repro.ldp.budget import BudgetAllocation, split_budget
 from repro.ldp.mechanisms import perturb_degree
 from repro.ldp.perturbation import perturb_graph, perturb_graph_batch
@@ -56,6 +58,22 @@ from repro.protocols.estimators import (
 from repro.utils.rng import RngLike, child_rng
 from repro.utils.sparse import decode_pairs
 from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ReportBlock:
+    """One contiguous user range of an LF-GDPR collection round.
+
+    ``adjacency_rows`` holds users ``start .. stop - 1``'s perturbed
+    adjacency bit vectors as packed uint64 rows (bit ``j`` of row ``i - start``
+    = perturbed edge ``{i, j}``); ``reported_degrees`` the matching slice of
+    Laplace-noised degree reports.  Blocks tile ``[0, N)`` in order.
+    """
+
+    start: int
+    stop: int
+    adjacency_rows: np.ndarray
+    reported_degrees: np.ndarray
 
 
 class LFGDPRProtocol(GraphLDPProtocol):
@@ -141,6 +159,57 @@ class LFGDPRProtocol(GraphLDPProtocol):
             degree_epsilon=self.budget.degree_epsilon,
             overridden=overridden,
         )
+
+    def collect_blocks(
+        self,
+        graph: Graph,
+        rng: RngLike,
+        *,
+        block_rows: int | None = None,
+        max_bytes: int | None = None,
+    ) -> Iterator[ReportBlock]:
+        """One collection round streamed as per-user report blocks.
+
+        The out-of-core counterpart of :meth:`collect` for graphs whose
+        packed adjacency matrix (``n^2/8`` bytes — 125 GB at a million
+        users) cannot be materialized: the perturbed graph lives only in
+        its sparse pair-code form, and each yielded
+        :class:`ReportBlock` carries one packed row range sized to
+        ``REPRO_DENSE_MAX_BYTES`` (or the explicit ``block_rows`` /
+        ``max_bytes``) that drops when the consumer advances.
+
+        Seed semantics match :meth:`collect` exactly: all randomness is
+        drawn **eagerly in this call** from the same named child streams
+        (``"lfgdpr-adjacency"`` then ``"lfgdpr-degree"``), consumed
+        draw-for-draw identically — so for any block height, concatenating
+        the blocks reproduces ``collect(graph, rng)``'s perturbed adjacency
+        matrix and degree reports bit for bit.  Block iteration itself
+        draws nothing.
+        """
+        perturbed = perturb_graph(
+            graph, self.budget.adjacency_epsilon, rng=child_rng(rng, "lfgdpr-adjacency")
+        )
+        noisy_degrees = np.asarray(
+            perturb_degree(
+                graph.degrees(),
+                self.budget.degree_epsilon,
+                rng=child_rng(rng, "lfgdpr-degree"),
+            ),
+            dtype=np.float64,
+        )
+
+        def blocks() -> Iterator[ReportBlock]:
+            for start, stop, rows in iter_packed_row_blocks(
+                perturbed, block_rows, max_bytes=max_bytes
+            ):
+                yield ReportBlock(
+                    start=start,
+                    stop=stop,
+                    adjacency_rows=rows,
+                    reported_degrees=noisy_degrees[start:stop],
+                )
+
+        return blocks()
 
     def collect_paired(self, graph: Graph, rng: RngLike) -> PairedCollection:
         """One honest perturbation shared across before/after views.

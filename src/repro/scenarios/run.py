@@ -30,7 +30,7 @@ from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import SweepResult
 from repro.graph.adjacency import Graph
-from repro.graph.datasets import DATASETS, load_dataset
+from repro.graph.datasets import load_dataset, lookup_spec
 from repro.scenarios.compiler import FLAT_VALUE, compile_panels
 from repro.scenarios.spec import SWEEP_FLAT, ScenarioSpec
 from repro.telemetry.core import current_tracer
@@ -96,7 +96,7 @@ def _dataset_stats(spec: ScenarioSpec, config: ExperimentConfig) -> List[Tuple]:
     """Rows of a ``stats`` scenario: paper vs surrogate node/edge counts."""
     rows = []
     for name in spec.datasets or (spec.dataset,):
-        dataset = DATASETS[name]
+        dataset = lookup_spec(name)
         graph = load_dataset(name, scale=config.scale, rng=config.seed)
         rows.append(
             (name, dataset.paper_nodes, dataset.paper_edges, graph.num_nodes, graph.num_edges)

@@ -27,7 +27,7 @@ from typing import Tuple, Union
 
 from repro.core.gain import METRICS
 from repro.engine.registry import ATTACKS, DEFENSES, PROTOCOLS
-from repro.graph.datasets import DATASETS
+from repro.graph.datasets import DATASETS, REAL_DATASETS, known_dataset_names
 
 #: Series sweep roles (how the swept value reaches one series' tasks).
 SWEEP_POINT = "point"  #: the value sets the protocol point (epsilon/beta/gamma)
@@ -220,8 +220,8 @@ class ScenarioSpec:
         pin their own ``dataset`` keep it — the override moves only the
         scenario default.
         """
-        if dataset not in DATASETS:
-            known = ", ".join(sorted(DATASETS))
+        if dataset not in DATASETS and dataset not in REAL_DATASETS:
+            known = ", ".join(known_dataset_names())
             raise KeyError(f"unknown dataset {dataset!r}; known: {known}")
         if self.kind == "stats":
             return replace(self, dataset=dataset, datasets=(dataset,))
@@ -248,11 +248,11 @@ class ScenarioSpec:
         """
         if self.kind == "stats":
             for dataset in self.datasets or (self.dataset,):
-                if dataset not in DATASETS:
+                if dataset not in DATASETS and dataset not in REAL_DATASETS:
                     raise KeyError(f"scenario {self.name!r}: unknown dataset {dataset!r}")
             return
         for panel in self.panels:
-            if panel.dataset and panel.dataset not in DATASETS:
+            if panel.dataset and panel.dataset not in DATASETS and panel.dataset not in REAL_DATASETS:
                 raise KeyError(
                     f"scenario {self.name!r}: panel {panel.figure!r} pins "
                     f"unknown dataset {panel.dataset!r}"

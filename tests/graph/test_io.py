@@ -93,3 +93,96 @@ class TestRead:
         path.write_text("0 1\n1 0\n0 1\n")
         g = read_edge_list(path, allow_duplicates=True)
         assert g.num_edges == 1
+
+
+class TestChunkedParsing:
+    """The vectorized chunked parser must be invariant in chunk_lines."""
+
+    def test_chunk_size_invariance(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        lines = ["# header"] + [f"{i} {i + 1}" for i in range(50)]
+        path.write_text("\n".join(lines) + "\n")
+        reference = read_edge_list(path, chunk_lines=1 << 20)
+        for chunk_lines in (1, 2, 7, 50, 51):
+            assert read_edge_list(path, chunk_lines=chunk_lines) == reference
+
+    def test_duplicate_across_chunk_boundary(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 1\n2 3\n4 5\n1 0\n")
+        with pytest.raises(
+            ValueError, match=r"edges\.txt:4: duplicate edge 1 0 \(first at line 1"
+        ):
+            read_edge_list(path, chunk_lines=2)
+
+    def test_buffered_duplicate_outranks_later_inline_error(self, tmp_path):
+        # The duplicate on line 2 sits in the pending chunk when the
+        # self-loop on line 3 is hit; the earlier offence must win.
+        path = tmp_path / "edges.txt"
+        path.write_text("0 1\n1 0\n2 2\n")
+        for chunk_lines in (1, 2, 3, 1 << 20):
+            with pytest.raises(ValueError, match=r"edges\.txt:2: duplicate edge"):
+                read_edge_list(path, chunk_lines=chunk_lines)
+
+    def test_triple_repeat_blames_first_occurrence(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("5 6\n0 1\n6 5\n")
+        with pytest.raises(ValueError, match=r"\(first at line 1"):
+            read_edge_list(path, chunk_lines=2)
+
+    def test_wide_ids_fall_back_to_exact_parse(self, tmp_path):
+        wide = 1 << 40
+        path = tmp_path / "edges.txt"
+        path.write_text(f"{wide} {wide + 1}\n{wide + 1} {wide}\n")
+        with pytest.raises(ValueError, match=r"edges\.txt:2: duplicate edge"):
+            read_edge_list(path)
+        path.write_text(f"{wide} {wide + 1}\n0 {wide}\n")
+        g = read_edge_list(path)
+        assert (g.num_nodes, g.num_edges) == (3, 2)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("# nothing but comments\n\n")
+        g = read_edge_list(path)
+        assert (g.num_nodes, g.num_edges) == (0, 0)
+        assert read_edge_list(path, num_nodes=4).num_nodes == 4
+
+
+class TestWriteHeaders:
+    def test_counts_header(self, tmp_path):
+        g = Graph(4, [(0, 1), (2, 3)])
+        path = tmp_path / "graph.txt"
+        write_edge_list(g, path, header="counts")
+        assert path.read_text().splitlines()[0] == "# nodes=4 edges=2"
+
+    def test_snap_header_round_trips(self, tmp_path):
+        g = Graph(6, [(0, 5), (1, 2), (1, 4)])
+        path = tmp_path / "graph.txt"
+        write_edge_list(g, path, header="snap")
+        lines = path.read_text().splitlines()
+        assert lines[0].startswith("#")
+        assert "Nodes: 6" in lines[1] and "Edges: 3" in lines[1]
+        assert read_edge_list(path, num_nodes=6) == g
+
+    def test_no_header(self, tmp_path):
+        g = Graph(3, [(0, 2)])
+        path = tmp_path / "graph.txt"
+        write_edge_list(g, path, header="none")
+        assert path.read_text() == "0 2\n"
+
+    def test_unknown_header_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="header"):
+            write_edge_list(Graph(2, [(0, 1)]), tmp_path / "g.txt", header="yaml")
+
+    def test_canonical_sorted_output(self, tmp_path):
+        g = Graph(5, [(3, 4), (0, 2), (0, 1)])
+        path = tmp_path / "graph.txt"
+        write_edge_list(g, path, header="none", chunk_edges=2)
+        assert path.read_text().splitlines() == ["0 1", "0 2", "3 4"]
+
+    def test_round_trip_is_strict(self, tmp_path):
+        # Output is canonical: re-reading with the strict defaults (no
+        # duplicate/self-loop tolerance) must succeed unchanged.
+        g = Graph(64, [(i, (i * 7 + 1) % 64) for i in range(0, 60, 3)])
+        path = tmp_path / "graph.txt"
+        write_edge_list(g, path, header="snap")
+        assert read_edge_list(path, num_nodes=64) == g
